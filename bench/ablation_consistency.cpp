@@ -1,0 +1,60 @@
+// §6-discussion ablation: how much of LS's win survives under a relaxed
+// memory model?
+//
+// The paper (conservative SC implementation) predicts: "Under more
+// relaxed memory models, this reduction of write stall time is probably
+// reduced ... Our technique however has a potential to reduce network
+// traffic under any memory model." This bench runs MP3D and OLTP under
+// sequential consistency and under processor consistency (8-deep write
+// buffer) and reports the execution-time and traffic reductions of
+// AD/LS relative to the baseline in each model.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace lssim;
+
+void run_model(const char* name, MachineConfig cfg,
+               const WorkloadBuilder& build) {
+  for (ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kPc}) {
+    cfg.consistency = model;
+    const auto results = bench::run_three(cfg, build);
+    const RunResult& base = results[0];
+    std::printf("%-6s %-3s", name, to_string(model));
+    for (const auto& r : results) {
+      std::printf("  %s exec %5.1f traffic %5.1f |", to_string(r.protocol),
+                  normalized(r.exec_time, base.exec_time),
+                  normalized(r.traffic_total, base.traffic_total));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace lssim;
+
+  std::printf("== Consistency-model ablation (Baseline of each model = 100) "
+              "==\n");
+  Mp3dParams mp3d;
+  mp3d.particles = 6000;
+  mp3d.steps = 6;
+  run_model("MP3D", MachineConfig::scientific_default(), [=](System& sys) {
+    build_mp3d(sys, mp3d);
+  });
+
+  OltpParams oltp;
+  oltp.txns_per_proc = 1200;
+  run_model("OLTP", bench::oltp_bench_config(), [=](System& sys) {
+    build_oltp(sys, oltp);
+  });
+
+  std::printf("\npaper §6: relaxed models shrink the write-stall (and thus "
+              "execution-time)\nbenefit; the traffic reduction persists "
+              "under any model.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension: data-centric LS vs instruction-centric prediction (ILS).
+//
+// The paper's §6 argues (citing the authors' ICPP'99 study) that
+// instruction-centric techniques have difficulty with OLTP: the same
+// static load site touches both private/migratory data (predict
+// exclusive!) and read-shared data (don't!), so per-site predictors
+// oscillate, while the data-centric LS bit adapts per memory block.
+// This bench quantifies that contrast on our workloads.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace lssim;
+
+void compare(const char* name, MachineConfig cfg,
+             const WorkloadBuilder& build) {
+  std::printf("== %s (Baseline = 100) ==\n", name);
+  std::printf("%-10s %10s %10s %12s %12s %12s\n", "protocol", "exec",
+              "traffic", "write-stall", "read-misses", "eliminated");
+  RunResult base;
+  for (ProtocolKind kind : {ProtocolKind::kBaseline, ProtocolKind::kAd,
+                            ProtocolKind::kLs, ProtocolKind::kIls}) {
+    cfg.protocol.kind = kind;
+    const RunResult r = run_experiment(cfg, build);
+    if (kind == ProtocolKind::kBaseline) base = r;
+    std::printf("%-10s %10.1f %10.1f %12.1f %12.1f %12llu\n",
+                to_string(kind),
+                normalized(r.exec_time, base.exec_time),
+                normalized(r.traffic_total, base.traffic_total),
+                normalized(r.time.write_stall, base.time.write_stall),
+                normalized(r.global_read_misses, base.global_read_misses),
+                static_cast<unsigned long long>(r.eliminated_acquisitions));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace lssim;
+
+  // Regular scientific code: stable sites, ILS competitive with LS.
+  LuParams lu;
+  lu.n = 128;
+  compare("LU 128x128 (regular access sites)",
+          MachineConfig::scientific_default(),
+          [=](System& sys) { build_lu(sys, lu); });
+
+  // OLTP: polymorphic sites; ILS trails the data-centric LS.
+  OltpParams oltp;
+  oltp.txns_per_proc = 1500;
+  compare("OLTP (polymorphic access sites)", bench::oltp_bench_config(),
+          [=](System& sys) { build_oltp(sys, oltp); });
+
+  std::printf(
+      "Context (paper §6 / ICPP'99): on full-size OLTP, instruction-centric\n"
+      "prediction loses to the data-centric LS bit because shared access\n"
+      "routines serve private and read-shared data from one PC. On this\n"
+      "miniaturized recreation the idealized (unbounded-table) ILS stays\n"
+      "competitive — its predicted-exclusive lookups rarely collide — but\n"
+      "its signature cost is visible as the read-miss inflation above.\n");
+  return 0;
+}

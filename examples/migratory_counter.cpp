@@ -1,0 +1,41 @@
+// Example: where LS wins over AD.
+//
+// Scenario from the paper's introduction: load-store sequences that do
+// NOT migrate between processors — each processor read-modify-writes its
+// own region, but the region exceeds the cache, so every sweep refetches
+// and re-acquires ownership. AD (migratory detection) finds nothing to
+// tag; LS tags the blocks after the first sweep and eliminates every
+// later ownership acquisition.
+#include <cstdio>
+
+#include "lssim.hpp"
+
+int main() {
+  using namespace lssim;
+
+  std::printf("Per-processor sweeps over a region 2x the L2 size\n");
+  std::printf("(load-store sequences broken by capacity evictions)\n\n");
+  std::printf("%-10s %14s %14s %14s\n", "protocol", "write stall",
+              "ownership acq", "eliminated");
+
+  for (ProtocolKind kind :
+       {ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs}) {
+    MachineConfig cfg = MachineConfig::scientific_default(kind);
+    System sys(cfg);
+    // 16k words x 8B = 128 kB per processor; L2 is 64 kB.
+    build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 16 * 1024,
+                                            .sweeps = 3});
+    sys.run();
+    const RunResult r = collect(sys);
+    std::printf("%-10s %14llu %14llu %14llu\n", to_string(kind),
+                static_cast<unsigned long long>(r.time.write_stall),
+                static_cast<unsigned long long>(r.ownership_acquisitions),
+                static_cast<unsigned long long>(r.eliminated_acquisitions));
+  }
+
+  std::printf(
+      "\nAD matches the baseline (the data never migrates, so migratory\n"
+      "detection never fires); LS eliminates the ownership requests of\n"
+      "every sweep after the first — the paper's Cholesky effect.\n");
+  return 0;
+}

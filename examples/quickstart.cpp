@@ -1,0 +1,37 @@
+// Quickstart: simulate a 4-node CC-NUMA machine running a migratory
+// counter under the three coherence techniques and compare them.
+//
+//   $ ./quickstart
+//
+// Demonstrates the minimal public API: configure a machine, build a
+// workload, run it, collect results.
+#include <cstdio>
+
+#include "lssim.hpp"
+
+int main() {
+  using namespace lssim;
+
+  std::printf("lssim quickstart: 4 processors ping-pong a shared counter\n");
+  std::printf("%-10s %12s %12s %12s %14s\n", "protocol", "exec cycles",
+              "write stall", "messages", "own. removed");
+
+  for (ProtocolKind kind :
+       {ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs}) {
+    MachineConfig cfg = MachineConfig::scientific_default(kind);
+    System sys(cfg);
+    build_pingpong(sys, PingPongParams{.rounds = 2000, .counters = 4});
+    sys.run();
+    const RunResult r = collect(sys);
+    std::printf("%-10s %12llu %12llu %12llu %14llu\n", to_string(kind),
+                static_cast<unsigned long long>(r.exec_time),
+                static_cast<unsigned long long>(r.time.write_stall),
+                static_cast<unsigned long long>(r.traffic_total),
+                static_cast<unsigned long long>(r.eliminated_acquisitions));
+  }
+
+  std::printf(
+      "\nBoth AD and LS detect the migratory counter and serve reads with\n"
+      "exclusive copies, so the subsequent writes complete locally.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "cache/cache.hpp"
+
+#include <cassert>
+
+namespace lssim {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), num_sets_(config.num_sets()) {
+  assert(num_sets_ > 0);
+  lines_.resize(num_sets_ * config_.assoc);
+}
+
+CacheLine* Cache::find(Addr block) noexcept {
+  const std::size_t base = set_index(block) * config_.assoc;
+  for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+    CacheLine& line = lines_[base + way];
+    if (line.valid() && line.block == block) {
+      return &line;
+    }
+  }
+  return nullptr;
+}
+
+const CacheLine* Cache::find(Addr block) const noexcept {
+  return const_cast<Cache*>(this)->find(block);
+}
+
+CacheLine Cache::insert(Addr block, CacheState state) {
+  assert(state != CacheState::kInvalid);
+  assert(find(block) == nullptr && "block already present");
+  const std::size_t base = set_index(block) * config_.assoc;
+  CacheLine* victim = &lines_[base];
+  for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+    CacheLine& line = lines_[base + way];
+    if (!line.valid()) {
+      victim = &line;
+      break;
+    }
+    if (line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  const CacheLine evicted = *victim;
+  *victim = CacheLine{};
+  victim->block = block;
+  victim->state = state;
+  victim->last_use = ++use_clock_;
+  return evicted;
+}
+
+CacheLine Cache::invalidate(Addr block) noexcept {
+  CacheLine* line = find(block);
+  if (line == nullptr) {
+    return CacheLine{};
+  }
+  const CacheLine removed = *line;
+  *line = CacheLine{};
+  return removed;
+}
+
+std::size_t Cache::valid_lines() const noexcept {
+  std::size_t count = 0;
+  for (const auto& line : lines_) {
+    if (line.valid()) ++count;
+  }
+  return count;
+}
+
+}  // namespace lssim

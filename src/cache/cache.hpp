@@ -1,0 +1,104 @@
+// Set-associative cache with LRU replacement.
+//
+// Caches here track coherence state and replacement behaviour only; data
+// values live authoritatively in the simulated AddressSpace (the
+// simulation is sequentially consistent and transactions are atomic, so a
+// single value copy is exact).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace lssim {
+
+/// Cache-line coherence state. kLStemp is the paper's extra state: an
+/// exclusive-but-not-yet-written copy delivered to a read of a tagged
+/// block (used by both the LS and the AD technique in this codebase).
+enum class CacheState : std::uint8_t {
+  kInvalid = 0,
+  kShared,
+  kModified,
+  kLStemp,
+};
+
+[[nodiscard]] constexpr const char* to_string(CacheState s) noexcept {
+  switch (s) {
+    case CacheState::kInvalid: return "Invalid";
+    case CacheState::kShared: return "Shared";
+    case CacheState::kModified: return "Modified";
+    case CacheState::kLStemp: return "LStemp";
+  }
+  return "?";
+}
+
+struct CacheLine {
+  Addr block = 0;  ///< Block-aligned address; meaningful iff state valid.
+  CacheState state = CacheState::kInvalid;
+  std::uint64_t last_use = 0;
+  /// Access site whose prediction granted this exclusive copy (kIls).
+  std::uint32_t grant_site = 0;
+  // -- Dubois false-sharing bookkeeping (maintained on L2 lines only) --
+  std::uint64_t accessed_words = 0;   ///< Words touched this lifetime.
+  std::uint64_t fs_foreign_mask = 0;  ///< Foreign-written words at fill.
+  bool fs_pending = false;  ///< Fill was a coherence miss, unclassified.
+
+  [[nodiscard]] bool valid() const noexcept {
+    return state != CacheState::kInvalid;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Returns the line holding `block`, or nullptr on miss.
+  [[nodiscard]] CacheLine* find(Addr block) noexcept;
+  [[nodiscard]] const CacheLine* find(Addr block) const noexcept;
+
+  /// Inserts `block` with the given state, evicting the set's LRU line if
+  /// needed. Returns a copy of the victim (state kInvalid when the set had
+  /// a free way). `block` must not already be present.
+  CacheLine insert(Addr block, CacheState state);
+
+  /// Removes `block` if present; returns a copy of the removed line
+  /// (state kInvalid if it was not present).
+  CacheLine invalidate(Addr block) noexcept;
+
+  /// Marks a hit for LRU purposes.
+  void touch(CacheLine& line) noexcept { line.last_use = ++use_clock_; }
+
+  [[nodiscard]] std::uint32_t block_bytes() const noexcept {
+    return config_.block_bytes;
+  }
+  [[nodiscard]] Addr block_of(Addr addr) const noexcept {
+    return addr & ~static_cast<Addr>(config_.block_bytes - 1);
+  }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+  /// Number of valid lines (tests / diagnostics).
+  [[nodiscard]] std::size_t valid_lines() const noexcept;
+
+  /// Applies `fn` to every valid line (tests, end-of-run flushes).
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
+    for (auto& line : lines_) {
+      if (line.valid()) fn(line);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t set_index(Addr block) const noexcept {
+    return static_cast<std::size_t>((block / config_.block_bytes) &
+                                    (num_sets_ - 1));
+  }
+
+  CacheConfig config_;
+  std::size_t num_sets_;
+  std::vector<CacheLine> lines_;  // num_sets_ * assoc, set-major.
+  std::uint64_t use_clock_ = 0;
+};
+
+}  // namespace lssim

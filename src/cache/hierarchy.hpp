@@ -1,0 +1,67 @@
+// Two-level inclusive cache hierarchy for one node.
+//
+// Inclusion invariant: every valid L1 line is also valid in L2 with the
+// same coherence state. The L2 copy is authoritative; L1 victims are
+// silent (the L2 still holds the block), while L2 victims must be
+// surfaced to the coherence protocol (writeback or replacement hint) and
+// force the corresponding L1 line out.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace lssim {
+
+struct ProbeResult {
+  bool l1_hit = false;
+  bool l2_hit = false;
+  CacheState state = CacheState::kInvalid;
+};
+
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2);
+
+  [[nodiscard]] ProbeResult probe(Addr block) const noexcept;
+
+  /// Inserts `block` in both levels after a global fill. Returns a copy of
+  /// the evicted L2 line (state kInvalid when none); the caller owns any
+  /// resulting writeback/hint. The matching L1 copy of the L2 victim is
+  /// invalidated to preserve inclusion.
+  CacheLine fill(Addr block, CacheState state);
+
+  /// On an L1 miss that hits in L2, refill L1 from L2 (silent L1 victim).
+  void refill_l1(Addr block);
+
+  /// Sets the coherence state of `block` in both levels (must be present
+  /// in L2).
+  void set_state(Addr block, CacheState state) noexcept;
+
+  /// Invalidates `block` in both levels; returns the removed L2 line.
+  CacheLine invalidate(Addr block) noexcept;
+
+  /// Records a hit for LRU, and accumulates the accessed-word mask on the
+  /// L2 line (used by the false-sharing classifier).
+  void record_access(Addr block, std::uint64_t word_mask) noexcept;
+
+  [[nodiscard]] Cache& l1() noexcept { return l1_; }
+  [[nodiscard]] Cache& l2() noexcept { return l2_; }
+  [[nodiscard]] const Cache& l1() const noexcept { return l1_; }
+  [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
+  [[nodiscard]] std::uint32_t block_bytes() const noexcept {
+    return l2_.block_bytes();
+  }
+
+  /// Verifies the inclusion invariant (tests). Returns true when every
+  /// valid L1 line has a same-state L2 twin.
+  [[nodiscard]] bool check_inclusion() const;
+
+ private:
+  Cache l1_;
+  Cache l2_;
+};
+
+}  // namespace lssim

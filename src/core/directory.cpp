@@ -1,0 +1,5 @@
+#include "core/directory.hpp"
+
+// Directory is header-only today; this TU anchors the module.
+
+namespace lssim {}  // namespace lssim

@@ -1,0 +1,99 @@
+// Full-map directory state (paper §2, §3.1 and Figure 1).
+//
+// One DirEntry exists per memory block ever accessed globally. The entry
+// combines the DASH-style full-map state with the paper's LS extension
+// fields: the last-reader (LR) bit-field and the LS bit ("tagged" here,
+// since the AD technique reuses the same storage for its migratory bit).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace lssim {
+
+/// Memory-side (home) state of a block, Figure 1 of the paper.
+/// kExcl is the figure's "Load-Store" state: exactly one cache holds the
+/// block exclusively after an exclusive read reply; the home learns about
+/// the owning write lazily (the whole point is that the write sends no
+/// message), so kExcl covers both the written and not-yet-written owner.
+enum class DirState : std::uint8_t {
+  kUncached = 0,
+  kShared,
+  kDirty,
+  kExcl,
+};
+
+[[nodiscard]] constexpr const char* to_string(DirState s) noexcept {
+  switch (s) {
+    case DirState::kUncached: return "Uncached";
+    case DirState::kShared: return "Shared";
+    case DirState::kDirty: return "Dirty";
+    case DirState::kExcl: return "Load-Store";
+  }
+  return "?";
+}
+
+struct DirEntry {
+  DirState state = DirState::kUncached;
+  std::uint64_t sharers = 0;          ///< Full-map presence bits (kShared).
+  NodeId owner = kInvalidNode;        ///< Valid in kDirty / kExcl.
+  NodeId last_reader = kInvalidNode;  ///< Paper's LR field.
+  NodeId last_writer = kInvalidNode;  ///< Used by AD's migratory detection.
+  bool tagged = false;                ///< LS bit / migratory bit.
+  /// kLimitedPtr: the sharer pointers overflowed; the directory no longer
+  /// knows the precise sharer set and must broadcast invalidations. (The
+  /// `sharers` bitmap is still maintained as simulation ground truth for
+  /// cache bookkeeping.)
+  bool ptr_overflow = false;
+  std::uint8_t tag_progress = 0;      ///< Hysteresis counters (§5.5).
+  std::uint8_t detag_progress = 0;
+
+  [[nodiscard]] int sharer_count() const noexcept {
+    return __builtin_popcountll(sharers);
+  }
+  [[nodiscard]] bool is_sharer(NodeId node) const noexcept {
+    return (sharers >> node) & 1u;
+  }
+  void add_sharer(NodeId node) noexcept { sharers |= std::uint64_t{1} << node; }
+  void remove_sharer(NodeId node) noexcept {
+    sharers &= ~(std::uint64_t{1} << node);
+  }
+};
+
+class Directory {
+ public:
+  /// `default_tagged` implements the §5.5 variation where every block
+  /// starts out tagged (first cold read returns an exclusive copy).
+  explicit Directory(bool default_tagged = false)
+      : default_tagged_(default_tagged) {}
+
+  /// Entry for `block` (block-aligned address), created on first use.
+  [[nodiscard]] DirEntry& entry(Addr block) {
+    auto [it, inserted] = entries_.try_emplace(block);
+    if (inserted && default_tagged_) {
+      it->second.tagged = true;
+    }
+    return it->second;
+  }
+
+  /// Read-only lookup that does not create an entry.
+  [[nodiscard]] const DirEntry* find(Addr block) const noexcept {
+    const auto it = entries_.find(block);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [block, entry] : entries_) fn(block, entry);
+  }
+
+ private:
+  std::unordered_map<Addr, DirEntry> entries_;
+  bool default_tagged_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,651 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lssim {
+
+MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
+                           Stats& stats)
+    : cfg_(config),
+      lat_(config.latency),
+      space_(space),
+      stats_(stats),
+      net_(config.num_nodes, config.latency, stats, config.topology),
+      dir_(config.protocol.default_tagged &&
+           config.protocol.kind != ProtocolKind::kBaseline),
+      fs_(config.classify_false_sharing, stats),
+      oracle_(true),
+      ils_(config.num_nodes),
+      log_(config.event_log_capacity) {
+  assert(config.validate().empty());
+  caches_.reserve(static_cast<std::size_t>(config.num_nodes));
+  for (int n = 0; n < config.num_nodes; ++n) {
+    caches_.emplace_back(config.l1, config.l2);
+  }
+}
+
+Cycles MemorySystem::leg(NodeId src, NodeId dst, MsgType type, Cycles t) {
+  t += lat_.controller;  // Egress through the sender's controller.
+  if (src != dst) {
+    t = net_.send(src, dst, type, t);
+    t += lat_.controller;  // Ingress at the receiver.
+  }
+  return t;
+}
+
+Cycles MemorySystem::leg_noegress(NodeId src, NodeId dst, MsgType type,
+                                  Cycles t) {
+  if (src != dst) {
+    t = net_.send(src, dst, type, t);
+    t += lat_.controller;
+  }
+  return t;
+}
+
+std::uint64_t MemorySystem::word_mask(const AccessRequest& req) const {
+  if (!cfg_.classify_false_sharing) {
+    return 0;
+  }
+  return word_mask_of(req.addr, req.size, cfg_.l2.block_bytes,
+                      cfg_.word_bytes);
+}
+
+std::uint64_t MemorySystem::apply_data(const AccessRequest& req) {
+  switch (req.op) {
+    case MemOpKind::kRead:
+      return space_.load(req.addr, req.size);
+    case MemOpKind::kWrite:
+      space_.store(req.addr, req.size, req.wdata);
+      return 0;
+    case MemOpKind::kSwap: {
+      const std::uint64_t old = space_.load(req.addr, req.size);
+      space_.store(req.addr, req.size, req.wdata);
+      return old;
+    }
+    case MemOpKind::kFetchAdd: {
+      const std::uint64_t old = space_.load(req.addr, req.size);
+      space_.store(req.addr, req.size, old + req.wdata);
+      return old;
+    }
+    case MemOpKind::kCas: {
+      const std::uint64_t old = space_.load(req.addr, req.size);
+      if (old == req.expected) {
+        space_.store(req.addr, req.size, req.wdata);
+      }
+      return old;
+    }
+  }
+  return 0;
+}
+
+void MemorySystem::tag_event(DirEntry& entry) {
+  entry.detag_progress = 0;
+  if (entry.tagged) {
+    return;
+  }
+  if (++entry.tag_progress >= cfg_.protocol.tag_hysteresis) {
+    entry.tagged = true;
+    entry.tag_progress = 0;
+    stats_.blocks_tagged += 1;
+    log_.record(current_time_, ProtoEventKind::kTag, current_block_,
+                current_node_, entry.state, true);
+  }
+}
+
+void MemorySystem::detag_event(DirEntry& entry) {
+  entry.tag_progress = 0;
+  if (!entry.tagged) {
+    return;
+  }
+  if (++entry.detag_progress >= cfg_.protocol.detag_hysteresis) {
+    entry.tagged = false;
+    entry.detag_progress = 0;
+    stats_.blocks_detagged += 1;
+    log_.record(current_time_, ProtoEventKind::kDetag, current_block_,
+                current_node_, entry.state, false);
+  }
+}
+
+void MemorySystem::apply_write_tag_rules(DirEntry& e, NodeId writer,
+                                         bool upgrade,
+                                         bool* detagged_by_lone_write) {
+  *detagged_by_lone_write = false;
+  switch (cfg_.protocol.kind) {
+    case ProtocolKind::kBaseline:
+    case ProtocolKind::kIls:  // Policy lives in the per-node predictor.
+      break;
+    case ProtocolKind::kLs:
+      // Paper §3.1: an ownership request whose source equals the LR field
+      // tags the block; a write request not preceded by a read from the
+      // same processor de-tags it (unless the §5.5 keep heuristic is on).
+      if (e.last_reader == writer) {
+        tag_event(e);
+      } else if (!upgrade && !cfg_.protocol.keep_tag_on_lone_write) {
+        detag_event(e);
+        *detagged_by_lone_write = true;
+      }
+      break;
+    case ProtocolKind::kAd: {
+      // Migratory detection (Stenström et al. '93): at an ownership
+      // acquisition (write hit on a Shared copy), exactly one other copy
+      // exists and it belongs to the last writer. Write *misses* carry no
+      // read-then-write evidence and do not detect.
+      if (!upgrade) {
+        break;
+      }
+      if (e.ptr_overflow) {
+        break;  // Dir_iB lost the sharer list: no migratory evidence.
+      }
+      const std::uint64_t others =
+          e.sharers & ~(std::uint64_t{1} << writer);
+      if (e.last_writer != kInvalidNode && e.last_writer != writer &&
+          others == (std::uint64_t{1} << e.last_writer)) {
+        tag_event(e);
+      }
+      break;
+    }
+  }
+}
+
+HomeStateAtMiss MemorySystem::classify_home_state(Addr block,
+                                                  const DirEntry& e) const {
+  bool home_valid = true;
+  if (e.state == DirState::kDirty) {
+    home_valid = false;
+  } else if (e.state == DirState::kExcl) {
+    const ProbeResult owner = caches_[e.owner].probe(block);
+    home_valid = owner.state == CacheState::kLStemp;
+  }
+  if (e.tagged) {
+    return home_valid ? HomeStateAtMiss::kCleanExcl
+                      : HomeStateAtMiss::kDirtyExcl;
+  }
+  return home_valid ? HomeStateAtMiss::kClean : HomeStateAtMiss::kDirty;
+}
+
+void MemorySystem::invalidate_cached_copy(NodeId node, Addr block) {
+  const CacheLine removed = caches_[node].invalidate(block);
+  assert(removed.valid());
+  fs_.on_line_death(removed);
+  fs_.on_invalidated(node, block);
+}
+
+void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
+                                    Cycles t) {
+  if (!victim.valid()) {
+    return;
+  }
+  fs_.on_line_death(victim);
+  const Addr block = victim.block;
+  const NodeId home = space_.home_of(block);
+  DirEntry& e = dir_.entry(block);
+  // AD's migratory property tracks an *unbroken* hand-off chain: once the
+  // owning copy is replaced the evidence is gone and the block reverts to
+  // ordinary (this is exactly the fragility the LS paper exploits, §3.1).
+  // LS instead keeps the LS bit across replacements by design.
+  if (cfg_.protocol.kind == ProtocolKind::kAd &&
+      cfg_.protocol.ad_detag_on_replacement &&
+      victim.state != CacheState::kShared) {
+    detag_event(e);
+  }
+  switch (victim.state) {
+    case CacheState::kShared:
+      assert(e.state == DirState::kShared && e.is_sharer(node));
+      e.remove_sharer(node);
+      if (e.sharer_count() == 0) {
+        e.state = DirState::kUncached;
+        e.ptr_overflow = false;
+      }
+      if (home != node) {
+        net_.send(node, home, MsgType::kReplHint, t);
+      }
+      break;
+    case CacheState::kModified:
+      log_.record(t, ProtoEventKind::kWriteback, block, node, e.state,
+                  e.tagged);
+      assert((e.state == DirState::kDirty || e.state == DirState::kExcl) &&
+             e.owner == node);
+      e.state = DirState::kUncached;
+      e.owner = kInvalidNode;
+      if (home != node) {
+        net_.send(node, home, MsgType::kWritebackData, t);
+      }
+      break;
+    case CacheState::kLStemp:
+      // Paper §3.1 case 3: replacement before the write; the home keeps
+      // the current LS-bit value. Under ILS the unused grant penalises
+      // the predicting site.
+      if (cfg_.protocol.kind == ProtocolKind::kIls) {
+        ils_.on_misprediction(node, victim.grant_site);
+      }
+      assert(e.state == DirState::kExcl && e.owner == node);
+      e.state = DirState::kUncached;
+      e.owner = kInvalidNode;
+      if (home != node) {
+        net_.send(node, home, MsgType::kReplHint, t);
+      }
+      break;
+    case CacheState::kInvalid:
+      break;
+  }
+}
+
+Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
+                                  bool predicted_exclusive,
+                                  std::uint32_t site) {
+  const NodeId home = space_.home_of(block);
+  DirEntry& e = dir_.entry(block);
+  // Exclusive read replies: data-centric (home tag, LS/AD) or
+  // instruction-centric (requester-side prediction, ILS).
+  const bool want_exclusive = e.tagged || predicted_exclusive;
+
+  stats_.global_read_misses += 1;
+  stats_.data_misses += 1;
+  log_.record(now, ProtoEventKind::kReadMiss, block, node, e.state,
+              e.tagged);
+  stats_.read_miss_home_state[static_cast<std::size_t>(
+      classify_home_state(block, e))] += 1;
+  oracle_.on_global_read(node, block);
+
+  Cycles t = now + lat_.l2_access;
+  t = leg(node, home, MsgType::kReadReq, t);
+  t += lat_.memory;  // Directory + memory lookup (parallel).
+
+  CacheState fill_state = CacheState::kShared;
+
+  switch (e.state) {
+    case DirState::kUncached: {
+      if (want_exclusive) {
+        fill_state = CacheState::kLStemp;
+        e.state = DirState::kExcl;
+        e.owner = node;
+        stats_.exclusive_read_replies += 1;
+      } else {
+        e.state = DirState::kShared;
+        e.add_sharer(node);
+        e.ptr_overflow = false;  // One precise pointer.
+      }
+      t = leg(home, node,
+              fill_state == CacheState::kLStemp ? MsgType::kDataExclRead
+                                                : MsgType::kDataShared,
+              t);
+      t += lat_.fill;
+      break;
+    }
+    case DirState::kShared: {
+      assert(!e.is_sharer(node));
+      e.add_sharer(node);
+      if (cfg_.directory_scheme == DirectoryScheme::kLimitedPtr &&
+          e.sharer_count() > cfg_.directory_pointers) {
+        e.ptr_overflow = true;  // Dir_iB: fall back to broadcast.
+      }
+      t = leg(home, node, MsgType::kDataShared, t);
+      t += lat_.fill;
+      break;
+    }
+    case DirState::kDirty:
+    case DirState::kExcl: {
+      const NodeId owner = e.owner;
+      assert(owner != node && owner != kInvalidNode);
+      CacheHierarchy& oc = caches_[owner];
+      const ProbeResult op = oc.probe(block);
+      assert(op.l2_hit);
+      t = leg(home, owner, MsgType::kReadFwd, t);
+      if (op.state == CacheState::kLStemp) {
+        // Paper §3.1 case 2: foreign read before the owning write.
+        // Owner's copy downgrades to Shared; home de-tags via NotLS (and
+        // under ILS the granting site is penalised).
+        t += lat_.l2_access;
+        if (cfg_.protocol.kind == ProtocolKind::kIls) {
+          ils_.on_misprediction(owner, oc.l2().find(block)->grant_site);
+        }
+        oc.set_state(block, CacheState::kShared);
+        detag_event(e);
+        stats_.notls_messages += 1;
+        log_.record(now, ProtoEventKind::kNotLs, block, owner, e.state,
+                    e.tagged);
+        t = leg_noegress(owner, home, MsgType::kNotLs, t);
+        e.state = DirState::kShared;
+        e.sharers = 0;
+        e.add_sharer(owner);
+        e.add_sharer(node);
+        e.ptr_overflow = false;  // Two precise pointers.
+        e.owner = kInvalidNode;
+        t = leg(home, node, MsgType::kDataShared, t);
+        t += lat_.fill;
+      } else {
+        assert(op.state == CacheState::kModified);
+        t += lat_.l2_readout;
+        if (want_exclusive) {
+          // Tagged + dirty: migrate an exclusive copy to the reader; the
+          // home memory is updated in passing so LStemp stays clean.
+          invalidate_cached_copy(owner, block);
+          t = leg_noegress(owner, home, MsgType::kSharingWb, t);
+          t += lat_.memory;
+          e.state = DirState::kExcl;
+          e.owner = node;
+          e.sharers = 0;
+          fill_state = CacheState::kLStemp;
+          stats_.exclusive_read_replies += 1;
+          log_.record(now, ProtoEventKind::kMigrate, block, node, e.state,
+                      e.tagged);
+          t = leg(home, node, MsgType::kDataExclRead, t);
+          t += lat_.fill;
+        } else {
+          // Plain read-on-dirty: 4 network hops (paper §4.2).
+          oc.set_state(block, CacheState::kShared);
+          t = leg_noegress(owner, home, MsgType::kSharingWb, t);
+          t += lat_.memory;
+          e.state = DirState::kShared;
+          e.sharers = 0;
+          e.add_sharer(owner);
+          e.add_sharer(node);
+          e.ptr_overflow = false;  // Two precise pointers.
+          e.owner = kInvalidNode;
+          t = leg(home, node, MsgType::kDataShared, t);
+          t += lat_.fill;
+        }
+      }
+      break;
+    }
+  }
+  e.last_reader = node;
+
+  const CacheLine victim = caches_[node].fill(block, fill_state);
+  handle_l2_victim(node, victim, t);
+  CacheLine* filled = caches_[node].l2().find(block);
+  if (fill_state == CacheState::kLStemp) {
+    filled->grant_site = site;
+  }
+  fs_.on_fill(node, block, *filled);
+  return t;
+}
+
+Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
+                                     bool upgrade) {
+  const NodeId home = space_.home_of(block);
+  DirEntry& e = dir_.entry(block);
+
+  stats_.global_write_actions += 1;
+  if (!upgrade) {
+    stats_.data_misses += 1;
+  }
+
+  bool lone_write_detag = false;
+  apply_write_tag_rules(e, node, upgrade, &lone_write_detag);
+  oracle_.on_global_write(node, block, /*eliminated=*/false, current_tag_);
+  e.last_writer = node;
+  // A write by anyone consumes the LR field: a later write can only be
+  // part of a load-store sequence if a fresh read precedes it.
+  e.last_reader = kInvalidNode;
+
+  Cycles t = now + lat_.l2_access;
+  t = leg(node, home, upgrade ? MsgType::kOwnReq : MsgType::kReadExReq, t);
+  t += lat_.memory;  // Directory (+ speculative data) access.
+  const Cycles t_dir = t;
+
+  Cycles completion = 0;
+
+  if (upgrade) {
+    // Paper Fig 5: "Global Inv's" are ownership acquisitions — global
+    // write actions to a block that is Shared in the local cache.
+    stats_.ownership_acquisitions += 1;
+    log_.record(now, ProtoEventKind::kUpgrade, block, node, e.state,
+                e.tagged);
+    assert(e.state == DirState::kShared && e.is_sharer(node));
+    completion = leg(home, node, MsgType::kOwnAck, t_dir);
+
+    std::uint64_t others = e.sharers & ~(std::uint64_t{1} << node);
+    std::uint64_t inval_targets = others;
+    if (e.ptr_overflow) {
+      // Dir_iB overflow: broadcast — every other node receives an
+      // invalidation (and acknowledges), cached copy or not.
+      inval_targets = ((cfg_.num_nodes >= 64)
+                           ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << cfg_.num_nodes) - 1)) &
+                      ~(std::uint64_t{1} << node);
+    }
+    const int count = __builtin_popcountll(others);
+    if (cfg_.protocol.kind == ProtocolKind::kAd && count >= 2) {
+      // Stenström's de-detection: a write invalidating several copies is
+      // evidence the block is read-shared, not migratory.
+      detag_event(e);
+    }
+    stats_.invalidations_sent += static_cast<std::uint64_t>(count);
+    if (count == 1) {
+      stats_.single_invalidations += 1;
+    }
+    Cycles issue = t_dir;
+    while (inval_targets != 0) {
+      const NodeId s = static_cast<NodeId>(__builtin_ctzll(inval_targets));
+      inval_targets &= inval_targets - 1;
+      Cycles a = leg(home, s, MsgType::kInval, issue);
+      a += lat_.l2_access;
+      if (e.is_sharer(s)) {
+        invalidate_cached_copy(s, block);
+      }
+      a = leg(s, node, MsgType::kInvalAck, a);
+      completion = std::max(completion, a);
+      issue += lat_.controller;  // Directory issues invalidations serially.
+    }
+    e.state = DirState::kDirty;
+    e.owner = node;
+    e.sharers = 0;
+    e.ptr_overflow = false;
+    caches_[node].set_state(block, CacheState::kModified);
+  } else {
+    switch (e.state) {
+      case DirState::kUncached: {
+        completion = leg(home, node, MsgType::kDataExclWrite, t_dir);
+        completion += lat_.fill;
+        break;
+      }
+      case DirState::kShared: {
+        assert(!e.is_sharer(node));
+        std::uint64_t inval_targets = e.sharers;
+        if (e.ptr_overflow) {
+          inval_targets =
+              ((cfg_.num_nodes >= 64)
+                   ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << cfg_.num_nodes) - 1)) &
+              ~(std::uint64_t{1} << node);
+        }
+        const int count = __builtin_popcountll(e.sharers);
+        stats_.invalidations_sent += static_cast<std::uint64_t>(count);
+        if (count == 1) {
+          stats_.single_invalidations += 1;
+        }
+        Cycles data = leg(home, node, MsgType::kDataExclWrite, t_dir);
+        data += lat_.fill;
+        completion = data;
+        Cycles issue = t_dir;
+        while (inval_targets != 0) {
+          const NodeId s =
+              static_cast<NodeId>(__builtin_ctzll(inval_targets));
+          inval_targets &= inval_targets - 1;
+          Cycles a = leg(home, s, MsgType::kInval, issue);
+          a += lat_.l2_access;
+          if (e.is_sharer(s)) {
+            invalidate_cached_copy(s, block);
+          }
+          a = leg(s, node, MsgType::kInvalAck, a);
+          completion = std::max(completion, a);
+          issue += lat_.controller;
+        }
+        break;
+      }
+      case DirState::kDirty:
+      case DirState::kExcl: {
+        const NodeId owner = e.owner;
+        assert(owner != node && owner != kInvalidNode);
+        const ProbeResult op = caches_[owner].probe(block);
+        assert(op.l2_hit);
+        Cycles t2 = leg(home, owner, MsgType::kWriteFwd, t_dir);
+        if (op.state == CacheState::kLStemp) {
+          // Paper §3.1 case 2 (foreign write): de-tag, unless the lone-
+          // write rule above already consumed this event.
+          if (cfg_.protocol.kind == ProtocolKind::kIls) {
+            ils_.on_misprediction(
+                owner, caches_[owner].l2().find(block)->grant_site);
+          }
+          if (!lone_write_detag) {
+            detag_event(e);
+          }
+          t2 += lat_.l2_access;
+        } else {
+          assert(op.state == CacheState::kModified);
+          t2 += lat_.l2_readout;
+        }
+        invalidate_cached_copy(owner, block);
+        t2 = leg_noegress(owner, home, MsgType::kOwnerXferAck, t2);
+        t2 += lat_.memory;
+        t2 = leg(home, node, MsgType::kDataExclWrite, t2);
+        t2 += lat_.fill;
+        completion = t2;
+        break;
+      }
+    }
+    e.state = DirState::kDirty;
+    e.owner = node;
+    e.sharers = 0;
+    e.ptr_overflow = false;
+    const CacheLine victim = caches_[node].fill(block, CacheState::kModified);
+    handle_l2_victim(node, victim, completion);
+    fs_.on_fill(node, block, *caches_[node].l2().find(block));
+  }
+  return completion;
+}
+
+AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
+                                  Cycles now) {
+  assert(node < caches_.size());
+  stats_.accesses += 1;
+  current_tag_ = req.tag;
+  current_time_ = now;
+  current_node_ = node;
+  current_block_ = caches_[node].l2().block_of(req.addr);
+
+  CacheHierarchy& ch = caches_[node];
+  const Addr block = ch.l2().block_of(req.addr);
+  const bool is_write = req.is_write();
+  const std::uint64_t wmask = word_mask(req);
+
+  AccessResult result;
+  const ProbeResult probe = ch.probe(block);
+
+  bool predicted_exclusive = false;
+  if (cfg_.protocol.kind == ProtocolKind::kIls) {
+    if (is_write) {
+      ils_.on_store(node, block);
+    } else {
+      predicted_exclusive = ils_.on_load(node, block, req.site);
+    }
+  }
+
+  if (probe.l2_hit && (!is_write || probe.state == CacheState::kModified ||
+                       probe.state == CacheState::kLStemp)) {
+    // Cache hit (including the technique's payoff: a write on an
+    // exclusive-unwritten LStemp line completes locally).
+    result.l1_hit = probe.l1_hit;
+    result.l2_hit = true;
+    result.latency = probe.l1_hit ? lat_.l1_access
+                                  : lat_.l1_access + lat_.l2_access;
+    if (probe.l1_hit) {
+      stats_.l1_hits += 1;
+    } else {
+      stats_.l2_hits += 1;
+      ch.refill_l1(block);
+    }
+    if (is_write && probe.state == CacheState::kLStemp) {
+      ch.set_state(block, CacheState::kModified);
+      stats_.eliminated_acquisitions += 1;
+      log_.record(now, ProtoEventKind::kLocalWrite, block, node,
+                  DirState::kExcl, true);
+      // This store would have been a global write action under the
+      // baseline protocol; the home learns about it lazily.
+      oracle_.on_global_write(node, block, /*eliminated=*/true, req.tag);
+    }
+  } else if (probe.l2_hit) {
+    // Write on a Shared line: ownership upgrade.
+    assert(probe.state == CacheState::kShared);
+    result.l2_hit = true;
+    result.global = true;
+    result.latency = do_write_global(node, block, now, /*upgrade=*/true) - now;
+  } else {
+    result.global = true;
+    const Cycles done =
+        is_write ? do_write_global(node, block, now, false)
+                 : do_read_miss(node, block, now, predicted_exclusive,
+                                req.site);
+    result.latency = done - now;
+  }
+
+  CacheLine* line2 = ch.l2().find(block);
+  assert(line2 != nullptr);
+  ch.record_access(block, wmask);
+  fs_.on_access(*line2, wmask);
+  if (is_write) {
+    fs_.on_write_words(node, block, wmask);
+  }
+  result.value = apply_data(req);
+  return result;
+}
+
+void MemorySystem::finalize() {
+  for (auto& ch : caches_) {
+    ch.l2().for_each_valid(
+        [this](const CacheLine& line) { fs_.on_line_death(line); });
+  }
+}
+
+bool MemorySystem::check_coherence_invariants() const {
+  bool ok = true;
+  dir_.for_each([&](Addr block, const DirEntry& e) {
+    int shared_copies = 0;
+    int excl_copies = 0;
+    for (std::size_t n = 0; n < caches_.size(); ++n) {
+      const ProbeResult p = caches_[n].probe(block);
+      if (!p.l2_hit) {
+        if (e.state == DirState::kShared && e.is_sharer(static_cast<NodeId>(n)))
+          ok = false;
+        continue;
+      }
+      switch (p.state) {
+        case CacheState::kShared:
+          ++shared_copies;
+          if (e.state != DirState::kShared ||
+              !e.is_sharer(static_cast<NodeId>(n)))
+            ok = false;
+          break;
+        case CacheState::kModified:
+          ++excl_copies;
+          if ((e.state != DirState::kDirty && e.state != DirState::kExcl) ||
+              e.owner != static_cast<NodeId>(n))
+            ok = false;
+          break;
+        case CacheState::kLStemp:
+          ++excl_copies;
+          if (e.state != DirState::kExcl || e.owner != static_cast<NodeId>(n))
+            ok = false;
+          break;
+        case CacheState::kInvalid:
+          break;
+      }
+    }
+    if (excl_copies > 1 || (excl_copies == 1 && shared_copies > 0)) ok = false;
+    if (e.state == DirState::kShared && shared_copies != e.sharer_count())
+      ok = false;
+    if ((e.state == DirState::kDirty || e.state == DirState::kExcl) &&
+        excl_copies != 1)
+      ok = false;
+    if (e.state == DirState::kUncached && (shared_copies + excl_copies) != 0)
+      ok = false;
+  });
+  for (const auto& ch : caches_) {
+    if (!ch.check_inclusion()) ok = false;
+  }
+  return ok;
+}
+
+}  // namespace lssim

@@ -1,0 +1,218 @@
+#include "driver/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace lssim {
+namespace {
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parse_size(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::string digits = text;
+  std::uint64_t scale = 1;
+  const char suffix = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(digits.back())));
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    scale = suffix == 'k' ? 1024ull
+                          : (suffix == 'm' ? 1024ull * 1024
+                                           : 1024ull * 1024 * 1024);
+    digits.pop_back();
+  }
+  std::uint64_t value = 0;
+  if (!parse_u64(digits, &value)) return false;
+  *out = value * scale;
+  return true;
+}
+
+bool parse_protocol(const std::string& text, ProtocolKind* out) {
+  const std::string name = lower(text);
+  if (name == "baseline" || name == "base" || name == "wi") {
+    *out = ProtocolKind::kBaseline;
+  } else if (name == "ad" || name == "migratory") {
+    *out = ProtocolKind::kAd;
+  } else if (name == "ls") {
+    *out = ProtocolKind::kLs;
+  } else if (name == "ils" || name == "instruction") {
+    *out = ProtocolKind::kIls;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_topology(const std::string& text, Topology* out) {
+  const std::string name = lower(text);
+  if (name == "crossbar" || name == "xbar" || name == "p2p") {
+    *out = Topology::kCrossbar;
+  } else if (name == "ring") {
+    *out = Topology::kRing;
+  } else if (name == "mesh" || name == "mesh2d") {
+    *out = Topology::kMesh2D;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string driver_usage() {
+  return R"(lssim_run — run one workload on the simulated CC-NUMA machine
+
+  --workload W       mp3d | cholesky | lu | oltp | radix | stencil |
+                     pingpong | private | readmostly  (default pingpong)
+  --protocol P       baseline | ad | ls | ils         (default baseline)
+  --compare          run all four protocols, normalized to Baseline
+  --procs N          processors (1..64, default 4)
+  --l1 SIZE          L1 capacity, e.g. 4k             (default per paper)
+  --l2 SIZE          L2 capacity, e.g. 64k
+  --assoc N          L1 associativity
+  --block BYTES      cache block size (both levels)
+  --topology T       crossbar | ring | mesh           (default crossbar)
+  --consistency C    sc | pc                          (default sc)
+  --false-sharing    enable the Dubois classifier
+  --seed N           deterministic seed               (default 1)
+  --set KEY=VALUE    workload parameter (repeatable), e.g.
+                     --set particles=4000 --set txns_per_proc=500
+  --format F         text | csv | json                (default text)
+  --help             this text
+)";
+}
+
+bool parse_driver_args(int argc, const char* const* argv,
+                       DriverOptions* options, std::string* error) {
+  auto need_value = [&](int& i, std::string* value) {
+    if (i + 1 >= argc) {
+      *error = std::string("missing value after ") + argv[i];
+      return false;
+    }
+    *value = argv[++i];
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options->show_help = true;
+    } else if (arg == "--workload") {
+      if (!need_value(i, &value)) return false;
+      options->workload = lower(value);
+    } else if (arg == "--protocol") {
+      if (!need_value(i, &value)) return false;
+      ProtocolKind kind;
+      if (!parse_protocol(value, &kind)) {
+        *error = "unknown protocol: " + value;
+        return false;
+      }
+      options->protocols = {kind};
+    } else if (arg == "--compare") {
+      options->compare = true;
+      options->protocols = {ProtocolKind::kBaseline, ProtocolKind::kAd,
+                            ProtocolKind::kLs, ProtocolKind::kIls};
+    } else if (arg == "--procs") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n < 1 || n > 64) {
+        *error = "bad --procs: " + value;
+        return false;
+      }
+      options->machine.num_nodes = static_cast<int>(n);
+    } else if (arg == "--l1" || arg == "--l2") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t bytes = 0;
+      if (!parse_size(value, &bytes) || bytes == 0) {
+        *error = "bad size: " + value;
+        return false;
+      }
+      (arg == "--l1" ? options->machine.l1 : options->machine.l2)
+          .size_bytes = static_cast<std::uint32_t>(bytes);
+    } else if (arg == "--assoc") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n == 0) {
+        *error = "bad --assoc: " + value;
+        return false;
+      }
+      options->machine.l1.assoc = static_cast<std::uint32_t>(n);
+    } else if (arg == "--block") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t bytes = 0;
+      if (!parse_size(value, &bytes) || bytes == 0) {
+        *error = "bad --block: " + value;
+        return false;
+      }
+      options->machine.l1.block_bytes = static_cast<std::uint32_t>(bytes);
+      options->machine.l2.block_bytes = static_cast<std::uint32_t>(bytes);
+    } else if (arg == "--topology") {
+      if (!need_value(i, &value)) return false;
+      if (!parse_topology(value, &options->machine.topology)) {
+        *error = "unknown topology: " + value;
+        return false;
+      }
+    } else if (arg == "--consistency") {
+      if (!need_value(i, &value)) return false;
+      const std::string name = lower(value);
+      if (name == "sc") {
+        options->machine.consistency = ConsistencyModel::kSc;
+      } else if (name == "pc") {
+        options->machine.consistency = ConsistencyModel::kPc;
+      } else {
+        *error = "unknown consistency model: " + value;
+        return false;
+      }
+    } else if (arg == "--false-sharing") {
+      options->machine.classify_false_sharing = true;
+    } else if (arg == "--seed") {
+      if (!need_value(i, &value)) return false;
+      if (!parse_u64(value, &options->seed)) {
+        *error = "bad --seed: " + value;
+        return false;
+      }
+    } else if (arg == "--set") {
+      if (!need_value(i, &value)) return false;
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        *error = "--set expects KEY=VALUE, got: " + value;
+        return false;
+      }
+      options->params[value.substr(0, eq)] = value.substr(eq + 1);
+    } else if (arg == "--format") {
+      if (!need_value(i, &value)) return false;
+      const std::string name = lower(value);
+      if (name == "text") {
+        options->format = OutputFormat::kText;
+      } else if (name == "csv") {
+        options->format = OutputFormat::kCsv;
+      } else if (name == "json") {
+        options->format = OutputFormat::kJson;
+      } else {
+        *error = "unknown format: " + value;
+        return false;
+      }
+    } else {
+      *error = "unknown argument: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lssim

@@ -1,0 +1,54 @@
+// Command-line option parsing for the lssim_run driver.
+//
+// Kept in the library (rather than the tool binary) so the parsing rules
+// are unit-testable. No external dependencies; the grammar is plain
+// GNU-style long options:
+//
+//   lssim_run --workload oltp --protocol ls --procs 4
+//             --l1 8k --l2 32k --assoc 2 --block 32
+//             --topology ring --consistency pc --seed 7
+//             --set txns_per_proc=500 --format csv --compare
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace lssim {
+
+enum class OutputFormat : std::uint8_t { kText, kCsv, kJson };
+
+struct DriverOptions {
+  std::string workload = "pingpong";
+  std::vector<ProtocolKind> protocols{ProtocolKind::kBaseline};
+  bool compare = false;  ///< Run Baseline+AD+LS+ILS side by side.
+  MachineConfig machine;
+  std::uint64_t seed = 1;
+  OutputFormat format = OutputFormat::kText;
+  /// Free-form workload parameters (--set key=value), interpreted by the
+  /// workload factory in driver/runner.cpp.
+  std::map<std::string, std::string> params;
+  bool show_help = false;
+};
+
+/// Parses argv into `options`. Returns true on success; on failure
+/// `error` describes the offending argument.
+bool parse_driver_args(int argc, const char* const* argv,
+                       DriverOptions* options, std::string* error);
+
+/// "64k" -> 65536, "1m" -> 1048576, "512" -> 512. Returns false on junk.
+bool parse_size(const std::string& text, std::uint64_t* out);
+
+/// Protocol name (case-insensitive: baseline/ad/ls/ils) to enum.
+bool parse_protocol(const std::string& text, ProtocolKind* out);
+
+/// Topology name (crossbar/ring/mesh) to enum.
+bool parse_topology(const std::string& text, Topology* out);
+
+/// Usage text for --help.
+[[nodiscard]] std::string driver_usage();
+
+}  // namespace lssim

@@ -1,0 +1,232 @@
+#include "driver/runner.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "stats/report.hpp"
+
+#include "workloads/cholesky.hpp"
+#include "workloads/lu.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/mp3d.hpp"
+#include "workloads/oltp.hpp"
+#include "workloads/stencil.hpp"
+#include "workloads/radix.hpp"
+
+namespace lssim {
+namespace {
+
+class ParamReader {
+ public:
+  explicit ParamReader(const std::map<std::string, std::string>& params)
+      : params_(params) {}
+
+  void get(const char* key, int* out) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return;
+    consumed_.insert(key);
+    *out = std::atoi(it->second.c_str());
+  }
+  void get(const char* key, double* out) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return;
+    consumed_.insert(key);
+    *out = std::atof(it->second.c_str());
+  }
+  // Cycles is an alias of std::uint64_t: one overload serves both.
+  void get(const char* key, std::uint64_t* out) {
+    const auto it = params_.find(key);
+    if (it == params_.end()) return;
+    consumed_.insert(key);
+    *out = std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  /// Throws if any --set key was not consumed by the chosen workload.
+  void check_all_consumed() const {
+    for (const auto& [key, value] : params_) {
+      if (consumed_.find(key) == consumed_.end()) {
+        throw std::invalid_argument("unknown workload parameter: " + key);
+      }
+    }
+  }
+
+ private:
+  const std::map<std::string, std::string>& params_;
+  std::set<std::string> consumed_;
+};
+
+}  // namespace
+
+bool driver_knows_workload(const std::string& name) {
+  return name == "mp3d" || name == "cholesky" || name == "lu" ||
+         name == "oltp" || name == "radix" || name == "stencil" ||
+         name == "pingpong" || name == "private" || name == "readmostly";
+}
+
+WorkloadBuilder make_driver_builder(const DriverOptions& options) {
+  ParamReader reader(options.params);
+  WorkloadBuilder build;
+
+  if (options.workload == "mp3d") {
+    Mp3dParams p;
+    reader.get("particles", &p.particles);
+    reader.get("steps", &p.steps);
+    reader.get("seed", &p.seed);
+    build = [p](System& sys) { build_mp3d(sys, p); };
+  } else if (options.workload == "cholesky") {
+    CholeskyParams p;
+    reader.get("n", &p.n);
+    reader.get("bandwidth", &p.bandwidth);
+    reader.get("successors", &p.successors);
+    reader.get("window", &p.window);
+    reader.get("locality", &p.locality);
+    reader.get("seed", &p.seed);
+    build = [p](System& sys) { build_cholesky(sys, p); };
+  } else if (options.workload == "lu") {
+    LuParams p;
+    reader.get("n", &p.n);
+    reader.get("seed", &p.seed);
+    build = [p](System& sys) { build_lu(sys, p); };
+  } else if (options.workload == "oltp") {
+    OltpParams p;
+    reader.get("branches", &p.branches);
+    reader.get("accounts", &p.accounts);
+    reader.get("txns_per_proc", &p.txns_per_proc);
+    reader.get("lookup_fraction", &p.lookup_fraction);
+    reader.get("hot_accounts", &p.hot_accounts);
+    reader.get("think_cycles", &p.think_cycles);
+    reader.get("seed", &p.seed);
+    build = [p](System& sys) { build_oltp(sys, p); };
+  } else if (options.workload == "radix") {
+    RadixParams p;
+    reader.get("keys", &p.keys);
+    reader.get("radix_bits", &p.radix_bits);
+    reader.get("key_bits", &p.key_bits);
+    reader.get("seed", &p.seed);
+    build = [p](System& sys) { build_radix(sys, p); };
+  } else if (options.workload == "stencil") {
+    StencilParams p;
+    reader.get("width", &p.width);
+    reader.get("height", &p.height);
+    reader.get("sweeps", &p.sweeps);
+    reader.get("seed", &p.seed);
+    build = [p](System& sys) { build_stencil(sys, p); };
+  } else if (options.workload == "pingpong") {
+    PingPongParams p;
+    reader.get("rounds", &p.rounds);
+    reader.get("counters", &p.counters);
+    build = [p](System& sys) { build_pingpong(sys, p); };
+  } else if (options.workload == "private") {
+    PrivateRmwParams p;
+    reader.get("words_per_proc", &p.words_per_proc);
+    reader.get("sweeps", &p.sweeps);
+    build = [p](System& sys) { build_private_rmw(sys, p); };
+  } else if (options.workload == "readmostly") {
+    ReadMostlyParams p;
+    reader.get("words", &p.words);
+    reader.get("rounds", &p.rounds);
+    build = [p](System& sys) { build_read_mostly(sys, p); };
+  } else {
+    throw std::invalid_argument("unknown workload: " + options.workload);
+  }
+  reader.check_all_consumed();
+  return build;
+}
+
+RunResult run_driver_workload(const DriverOptions& options,
+                              ProtocolKind kind) {
+  MachineConfig cfg = options.machine;
+  cfg.protocol.kind = kind;
+  const std::string problem = cfg.validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("invalid machine configuration: " + problem);
+  }
+  return run_experiment(cfg, make_driver_builder(options), options.seed);
+}
+
+namespace {
+
+void print_text(std::ostream& os, const std::vector<RunResult>& results) {
+  const RunResult& base = results.front();
+  os << "protocol   exec-cycles        busy  read-stall write-stall"
+        "   messages  rd-misses  eliminated";
+  if (results.size() > 1) os << "   (norm exec)";
+  os << "\n";
+  for (const RunResult& r : results) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-9s %12llu %11llu %11llu %11llu %10llu %10llu %11llu",
+                  to_string(r.protocol),
+                  static_cast<unsigned long long>(r.exec_time),
+                  static_cast<unsigned long long>(r.time.busy),
+                  static_cast<unsigned long long>(r.time.read_stall),
+                  static_cast<unsigned long long>(r.time.write_stall),
+                  static_cast<unsigned long long>(r.traffic_total),
+                  static_cast<unsigned long long>(r.global_read_misses),
+                  static_cast<unsigned long long>(
+                      r.eliminated_acquisitions));
+    os << line;
+    if (results.size() > 1) {
+      std::snprintf(line, sizeof(line), "      %6.1f",
+                    normalized(r.exec_time, base.exec_time));
+      os << line;
+    }
+    os << "\n";
+  }
+}
+
+void print_csv(std::ostream& os, const std::vector<RunResult>& results) {
+  os << "protocol,exec_cycles,busy,read_stall,write_stall,messages,"
+        "read_misses,write_actions,eliminated,invalidations,"
+        "false_sharing_misses\n";
+  for (const RunResult& r : results) {
+    os << to_string(r.protocol) << ',' << r.exec_time << ',' << r.time.busy
+       << ',' << r.time.read_stall << ',' << r.time.write_stall << ','
+       << r.traffic_total << ',' << r.global_read_misses << ','
+       << r.global_write_actions << ',' << r.eliminated_acquisitions << ','
+       << r.invalidations << ',' << r.false_sharing_misses << "\n";
+  }
+}
+
+void print_json(std::ostream& os, const std::vector<RunResult>& results) {
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    os << "  {\"protocol\":\"" << to_string(r.protocol) << "\""
+       << ",\"exec_cycles\":" << r.exec_time
+       << ",\"busy\":" << r.time.busy
+       << ",\"read_stall\":" << r.time.read_stall
+       << ",\"write_stall\":" << r.time.write_stall
+       << ",\"messages\":" << r.traffic_total
+       << ",\"read_misses\":" << r.global_read_misses
+       << ",\"write_actions\":" << r.global_write_actions
+       << ",\"eliminated\":" << r.eliminated_acquisitions
+       << ",\"invalidations\":" << r.invalidations
+       << ",\"ls_fraction\":" << r.oracle_total.ls_fraction()
+       << ",\"migratory_fraction\":" << r.oracle_total.migratory_fraction()
+       << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace
+
+void print_driver_results(std::ostream& os, const DriverOptions& options,
+                          const std::vector<RunResult>& results) {
+  if (results.empty()) return;
+  switch (options.format) {
+    case OutputFormat::kText:
+      print_text(os, results);
+      break;
+    case OutputFormat::kCsv:
+      print_csv(os, results);
+      break;
+    case OutputFormat::kJson:
+      print_json(os, results);
+      break;
+  }
+}
+
+}  // namespace lssim

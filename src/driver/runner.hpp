@@ -1,0 +1,31 @@
+// Workload factory + result formatting for the lssim_run driver.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/options.hpp"
+#include "workloads/harness.hpp"
+
+namespace lssim {
+
+/// True if `name` names a workload the driver can build.
+[[nodiscard]] bool driver_knows_workload(const std::string& name);
+
+/// Builds the WorkloadBuilder for `options.workload` with its --set
+/// parameters applied; throws std::invalid_argument on unknown workloads
+/// or parameters. Useful for callers that own their System (tracing).
+WorkloadBuilder make_driver_builder(const DriverOptions& options);
+
+/// Runs `options.workload` under `kind`; throws std::invalid_argument on
+/// unknown workloads or bad parameters.
+RunResult run_driver_workload(const DriverOptions& options,
+                              ProtocolKind kind);
+
+/// Prints one or more results in the requested format. For kText with
+/// several results, values are also shown normalized to the first.
+void print_driver_results(std::ostream& os, const DriverOptions& options,
+                          const std::vector<RunResult>& results);
+
+}  // namespace lssim

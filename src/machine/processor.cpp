@@ -1,0 +1,5 @@
+#include "machine/processor.hpp"
+
+// Processor is header-only today; this TU anchors the module.
+
+namespace lssim {}  // namespace lssim

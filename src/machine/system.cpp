@@ -1,0 +1,135 @@
+#include "machine/system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lssim {
+
+System::System(const MachineConfig& config, std::uint64_t seed)
+    : cfg_(config),
+      stats_(config.num_nodes),
+      space_(config.num_nodes, config.page_bytes),
+      heap_(space_),
+      memory_(config, space_, stats_),
+      timeline_(config.stats_epoch) {
+  const std::string problem = config.validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("invalid MachineConfig: " + problem);
+  }
+  procs_.reserve(static_cast<std::size_t>(config.num_nodes));
+  programs_.resize(static_cast<std::size_t>(config.num_nodes));
+  for (int n = 0; n < config.num_nodes; ++n) {
+    procs_.push_back(
+        std::make_unique<Processor>(static_cast<NodeId>(n), seed));
+  }
+}
+
+void System::spawn(NodeId node, SimTask<void> program) {
+  assert(node < procs_.size());
+  assert(!programs_[node].valid() && "processor already has a program");
+  programs_[node] = std::move(program);
+}
+
+void System::run() {
+  assert(!ran_ && "System::run may only be called once");
+  ran_ = true;
+
+  // Start every program; each runs until its first memory access (or to
+  // completion, for programs that never touch simulated memory).
+  for (auto& program : programs_) {
+    if (program.valid()) {
+      program.resume();
+    }
+  }
+
+  for (;;) {
+    // Pick the runnable processor with the earliest local time (ties
+    // broken by node id, keeping runs deterministic).
+    Processor* next = nullptr;
+    for (auto& proc : procs_) {
+      if (!proc->has_pending_) continue;
+      if (next == nullptr || proc->time_ < next->time_) {
+        next = proc.get();
+      }
+    }
+    if (next == nullptr) {
+      break;  // All programs finished (or none issued accesses).
+    }
+    if (cfg_.max_cycles != 0 && next->time_ > cfg_.max_cycles) {
+      timed_out_ = true;  // Watchdog: leave remaining programs suspended.
+      break;
+    }
+
+    next->has_pending_ = false;
+    const AccessRequest req = next->pending_;
+    const AccessResult res = memory_.access(next->id_, req, next->time_);
+    if (observer_) {
+      observer_(next->id_, req, next->time_, res.latency);
+    }
+    if (req.is_write()) {
+      stats_.write_latency.record(res.latency);
+    } else {
+      stats_.read_latency.record(res.latency);
+    }
+    if (timeline_.enabled()) {
+      timeline_.observe(next->time_, stats_.accesses,
+                        stats_.messages_total(), stats_.global_read_misses,
+                        stats_.global_write_actions,
+                        stats_.eliminated_acquisitions);
+    }
+
+    // Time accounting. Under sequential consistency (paper default) one
+    // issue cycle is busy and the rest of the access latency is read or
+    // write stall (paper: stall on every L2 miss). Under processor
+    // consistency, plain stores retire into a finite write buffer: the
+    // processor only stalls when the buffer is full; reads and atomic
+    // RMWs remain blocking (paper §6 discussion).
+    TimeBreakdown& tb = stats_.per_proc[next->id_];
+    const Cycles issue = std::min<Cycles>(res.latency, cfg_.latency.l1_access);
+    const bool buffered = cfg_.consistency == ConsistencyModel::kPc &&
+                          req.op == MemOpKind::kWrite;
+    if (buffered) {
+      auto& wb = next->write_buffer_;
+      while (!wb.empty() && wb.front() <= next->time_) {
+        wb.pop_front();  // Drain completed stores.
+      }
+      Cycles stall = 0;
+      if (wb.size() >= cfg_.write_buffer_depth) {
+        stall = wb.front() - next->time_;
+        wb.pop_front();
+      }
+      wb.push_back(next->time_ + stall + res.latency);
+      tb.busy += issue;
+      tb.write_stall += stall;
+      next->time_ += stall + issue;
+    } else {
+      tb.busy += issue;
+      const Cycles stall = res.latency - issue;
+      if (req.is_write()) {
+        tb.write_stall += stall;
+      } else {
+        tb.read_stall += stall;
+      }
+      next->time_ += res.latency;
+    }
+    next->result_ = res.value;
+    next->resume_point_.resume();
+  }
+
+  // Fold compute-cycle busy time into the stats and flush classifiers.
+  for (auto& proc : procs_) {
+    stats_.per_proc[proc->id_].busy += proc->busy_;
+    proc->busy_ = 0;
+  }
+  memory_.finalize();
+}
+
+Cycles System::exec_time() const noexcept {
+  Cycles latest = 0;
+  for (const auto& proc : procs_) {
+    latest = std::max(latest, proc->time_);
+  }
+  return latest;
+}
+
+}  // namespace lssim

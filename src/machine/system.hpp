@@ -1,0 +1,93 @@
+// Whole-machine assembly and the min-time scheduler.
+//
+// A System owns the simulated address space, the shared heap, the memory
+// system (caches + directory + network) and one Processor per node.
+// Workload programs are SimTask<void> coroutines spawned onto processors;
+// run() interleaves them in global time order: it always executes the
+// pending access of the processor whose local clock is earliest, which
+// realises a sequentially consistent execution with stall-on-L2-miss
+// (paper §4.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "machine/processor.hpp"
+#include "mem/address_space.hpp"
+#include "mem/shared_heap.hpp"
+#include "sim/config.hpp"
+#include "sim/task.hpp"
+#include "stats/stats.hpp"
+
+namespace lssim {
+
+class System {
+ public:
+  explicit System(const MachineConfig& config, std::uint64_t seed = 1);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Assigns `program` to processor `node`. At most one program per
+  /// processor may be active; spawn all programs before run().
+  void spawn(NodeId node, SimTask<void> program);
+
+  /// Runs all spawned programs to completion and finalizes statistics.
+  void run();
+
+  [[nodiscard]] Processor& proc(NodeId node) noexcept {
+    return *procs_[node];
+  }
+  [[nodiscard]] int num_procs() const noexcept {
+    return static_cast<int>(procs_.size());
+  }
+
+  [[nodiscard]] AddressSpace& space() noexcept { return space_; }
+  [[nodiscard]] SharedHeap& heap() noexcept { return heap_; }
+  [[nodiscard]] Stats& stats() noexcept { return stats_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] MemorySystem& memory() noexcept { return memory_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const EpochTimeline& timeline() const noexcept {
+    return timeline_;
+  }
+
+  /// Wall-clock execution time: the latest processor local time.
+  [[nodiscard]] Cycles exec_time() const noexcept;
+
+  /// True when run() stopped on the max_cycles watchdog rather than on
+  /// program completion.
+  [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
+
+  /// Keeps a workload context alive for the duration of the simulation
+  /// (programs capture references into it).
+  void retain(std::shared_ptr<void> context) {
+    retained_.push_back(std::move(context));
+  }
+
+  /// Observer invoked for every executed access (node, request, issue
+  /// time, latency). Used by the trace recorder; set before run().
+  using AccessObserver =
+      std::function<void(NodeId, const AccessRequest&, Cycles, Cycles)>;
+  void set_access_observer(AccessObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  MachineConfig cfg_;
+  Stats stats_;
+  AddressSpace space_;
+  SharedHeap heap_;
+  MemorySystem memory_;
+  std::vector<std::unique_ptr<Processor>> procs_;
+  std::vector<SimTask<void>> programs_;  // Index-aligned with procs_.
+  std::vector<std::shared_ptr<void>> retained_;
+  EpochTimeline timeline_;
+  AccessObserver observer_;
+  bool ran_ = false;
+  bool timed_out_ = false;
+};
+
+}  // namespace lssim

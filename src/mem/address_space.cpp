@@ -1,0 +1,50 @@
+#include "mem/address_space.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace lssim {
+
+AddressSpace::AddressSpace(int num_nodes, std::uint32_t page_bytes)
+    : num_nodes_(num_nodes), page_bytes_(page_bytes) {
+  assert(num_nodes >= 1);
+  assert(page_bytes >= 8);
+}
+
+std::byte* AddressSpace::page_for(Addr addr) {
+  const Addr page = addr / page_bytes_;
+  auto& slot = pages_[page];
+  if (!slot) {
+    slot = std::make_unique<std::byte[]>(page_bytes_);
+    std::memset(slot.get(), 0, page_bytes_);
+  }
+  return slot.get();
+}
+
+const std::byte* AddressSpace::page_if_present(Addr addr) const noexcept {
+  const auto it = pages_.find(addr / page_bytes_);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t AddressSpace::load(Addr addr, unsigned size) const {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  assert(addr % page_bytes_ + size <= page_bytes_ &&
+         "access must not cross a page boundary");
+  const std::byte* page = page_if_present(addr);
+  if (page == nullptr) {
+    return 0;
+  }
+  std::uint64_t value = 0;
+  std::memcpy(&value, page + addr % page_bytes_, size);
+  return value;
+}
+
+void AddressSpace::store(Addr addr, unsigned size, std::uint64_t value) {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  assert(addr % page_bytes_ + size <= page_bytes_ &&
+         "access must not cross a page boundary");
+  std::byte* page = page_for(addr);
+  std::memcpy(page + addr % page_bytes_, &value, size);
+}
+
+}  // namespace lssim

@@ -1,0 +1,53 @@
+// Simulated physical address space.
+//
+// Backing storage is allocated lazily page-by-page; pages are assigned
+// home nodes round-robin (paper §4.2: "physical memory pages are
+// distributed in round-robin fashion among the nodes").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace lssim {
+
+class AddressSpace {
+ public:
+  AddressSpace(int num_nodes, std::uint32_t page_bytes);
+
+  /// Home node of the page containing `addr`.
+  [[nodiscard]] NodeId home_of(Addr addr) const noexcept {
+    return static_cast<NodeId>((addr / page_bytes_) %
+                               static_cast<Addr>(num_nodes_));
+  }
+
+  /// Loads `size` bytes (1, 2, 4 or 8; must not cross a page boundary)
+  /// as a little-endian integer. Untouched memory reads as zero.
+  [[nodiscard]] std::uint64_t load(Addr addr, unsigned size) const;
+
+  /// Stores the low `size` bytes of `value` at `addr`.
+  void store(Addr addr, unsigned size, std::uint64_t value);
+
+  [[nodiscard]] std::uint32_t page_bytes() const noexcept {
+    return page_bytes_;
+  }
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+
+  /// Number of pages materialised so far (for tests / footprint reports).
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  [[nodiscard]] std::byte* page_for(Addr addr);
+  [[nodiscard]] const std::byte* page_if_present(Addr addr) const noexcept;
+
+  int num_nodes_;
+  std::uint32_t page_bytes_;
+  std::unordered_map<Addr, std::unique_ptr<std::byte[]>> pages_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,67 @@
+#include "mem/shared_heap.hpp"
+
+namespace lssim {
+namespace {
+
+constexpr Addr align_up(Addr addr, std::uint32_t align) noexcept {
+  const Addr mask = align - 1;
+  return (addr + mask) & ~mask;
+}
+
+}  // namespace
+
+SharedHeap::SharedHeap(AddressSpace& space) : space_(space) {
+  const int nodes = space.num_nodes();
+  const Addr page = space.page_bytes();
+  // The global arena starts high so it never collides with node arenas.
+  global_cursor_ = Addr{1} << 40;
+  node_cursor_.resize(static_cast<std::size_t>(nodes));
+  node_arena_limit_.resize(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    // Page index ≡ n (mod nodes) has home n under round-robin placement.
+    node_cursor_[static_cast<std::size_t>(n)] = static_cast<Addr>(n) * page;
+    node_arena_limit_[static_cast<std::size_t>(n)] =
+        static_cast<Addr>(n) * page + page;
+  }
+}
+
+Addr SharedHeap::alloc(std::uint64_t bytes, std::uint32_t align) {
+  assert(bytes > 0);
+  assert(std::has_single_bit(align));
+  global_cursor_ = align_up(global_cursor_, align);
+  const Addr result = global_cursor_;
+  global_cursor_ += bytes;
+  bytes_allocated_ += bytes;
+  return result;
+}
+
+Addr SharedHeap::alloc_on_node(NodeId node, std::uint64_t bytes,
+                               std::uint32_t align) {
+  assert(bytes > 0);
+  assert(std::has_single_bit(align));
+  assert(node < node_cursor_.size());
+  const Addr page = space_.page_bytes();
+  const Addr stride = page * static_cast<Addr>(space_.num_nodes());
+  auto& cursor = node_cursor_[node];
+  auto& limit = node_arena_limit_[node];
+
+  cursor = align_up(cursor, align);
+  // Allocations larger than a page cannot stay on one node's pages under
+  // round-robin interleaving; carve them page-by-page is pointless for the
+  // workloads we model, so require fitting within one page.
+  assert(bytes <= page && "node-local allocations must fit in one page");
+  if (cursor + bytes > limit) {
+    // Advance to this node's next page (stride keeps home == node).
+    const Addr next_page_start = limit - page + stride;
+    cursor = next_page_start;
+    limit = next_page_start + page;
+    cursor = align_up(cursor, align);
+  }
+  const Addr result = cursor;
+  cursor += bytes;
+  bytes_allocated_ += bytes;
+  assert(space_.home_of(result) == node);
+  return result;
+}
+
+}  // namespace lssim

@@ -1,0 +1,97 @@
+// Coherence message taxonomy.
+//
+// The paper splits network traffic into Read-related, Write-related and
+// Other (retries, hints, NotLS). Every concrete message type maps onto one
+// of those classes; stats are kept per type and rolled up per class.
+#pragma once
+
+#include <cstdint>
+
+namespace lssim {
+
+enum class MsgClass : std::uint8_t { kRead = 0, kWrite = 1, kOther = 2 };
+inline constexpr int kNumMsgClasses = 3;
+
+enum class MsgType : std::uint8_t {
+  // -- Read-related --------------------------------------------------
+  kReadReq = 0,     ///< Read miss request, requester -> home.
+  kReadFwd,         ///< Home forwards a read to the current owner.
+  kDataShared,      ///< Shared data reply.
+  kDataExclRead,    ///< Exclusive data reply to a read (tagged block).
+  kSharingWb,       ///< Owner's sharing writeback to home on read-on-dirty.
+  // -- Write-related --------------------------------------------------
+  kOwnReq,          ///< Ownership upgrade request (write hit on Shared).
+  kReadExReq,       ///< Read-exclusive request (write miss).
+  kWriteFwd,        ///< Home forwards a write-exclusive to the owner.
+  kDataExclWrite,   ///< Exclusive data reply to a write miss.
+  kOwnAck,          ///< Home grants ownership (upgrade acknowledgement).
+  kInval,           ///< Invalidation, home -> sharing cache.
+  kInvalAck,        ///< Invalidation acknowledgement, sharer -> requester.
+  kOwnerXferAck,    ///< Owner -> home notice that ownership moved.
+  // -- Other ----------------------------------------------------------
+  kWritebackData,   ///< Dirty replacement writeback, cache -> home.
+  kReplHint,        ///< Clean/shared/LStemp replacement hint.
+  kNotLs,           ///< Paper §3.1: block ceased to be load-store.
+  kCount
+};
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kCount);
+
+[[nodiscard]] constexpr MsgClass msg_class(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kReadReq:
+    case MsgType::kReadFwd:
+    case MsgType::kDataShared:
+    case MsgType::kDataExclRead:
+    case MsgType::kSharingWb:
+      return MsgClass::kRead;
+    case MsgType::kOwnReq:
+    case MsgType::kReadExReq:
+    case MsgType::kWriteFwd:
+    case MsgType::kDataExclWrite:
+    case MsgType::kOwnAck:
+    case MsgType::kInval:
+    case MsgType::kInvalAck:
+    case MsgType::kOwnerXferAck:
+      return MsgClass::kWrite;
+    case MsgType::kWritebackData:
+    case MsgType::kReplHint:
+    case MsgType::kNotLs:
+    case MsgType::kCount:
+      return MsgClass::kOther;
+  }
+  return MsgClass::kOther;
+}
+
+[[nodiscard]] constexpr const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kReadReq: return "ReadReq";
+    case MsgType::kReadFwd: return "ReadFwd";
+    case MsgType::kDataShared: return "DataShared";
+    case MsgType::kDataExclRead: return "DataExclRead";
+    case MsgType::kSharingWb: return "SharingWb";
+    case MsgType::kOwnReq: return "OwnReq";
+    case MsgType::kReadExReq: return "ReadExReq";
+    case MsgType::kWriteFwd: return "WriteFwd";
+    case MsgType::kDataExclWrite: return "DataExclWrite";
+    case MsgType::kOwnAck: return "OwnAck";
+    case MsgType::kInval: return "Inval";
+    case MsgType::kInvalAck: return "InvalAck";
+    case MsgType::kOwnerXferAck: return "OwnerXferAck";
+    case MsgType::kWritebackData: return "WritebackData";
+    case MsgType::kReplHint: return "ReplHint";
+    case MsgType::kNotLs: return "NotLS";
+    case MsgType::kCount: break;
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(MsgClass cls) noexcept {
+  switch (cls) {
+    case MsgClass::kRead: return "Read";
+    case MsgClass::kWrite: return "Write";
+    case MsgClass::kOther: return "Other";
+  }
+  return "?";
+}
+
+}  // namespace lssim

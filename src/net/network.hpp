@@ -1,0 +1,69 @@
+// Interconnection network with per-link contention.
+//
+// The paper's machine uses a fixed-delay point-to-point network
+// (modelled as kCrossbar: one hop between any pair). As an extension the
+// simulator also provides a unidirectional-capable ring and a 2D mesh
+// with dimension-order routing — every physical link along a route is a
+// serialising resource, so topology changes both latency (hop count)
+// and contention behaviour. `bench/ablation_topology` quantifies how the
+// LS/AD/Baseline comparison shifts with the network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "stats/stats.hpp"
+
+namespace lssim {
+
+class Network {
+ public:
+  Network(int num_nodes, const LatencyConfig& latency, Stats& stats,
+          Topology topology = Topology::kCrossbar);
+
+  /// Sends one message at time `now`; returns its arrival time at `dst`.
+  ///
+  /// The route's physical links serialise messages: on each hop the
+  /// message departs no earlier than the link's free time, occupies the
+  /// link for `link_occupancy` cycles, and arrives `hop` cycles after
+  /// departing. Node-internal transfers are not messages; callers must
+  /// ensure src != dst.
+  Cycles send(NodeId src, NodeId dst, MsgType type, Cycles now);
+
+  /// Number of physical hops between two nodes under this topology.
+  [[nodiscard]] int hop_count(NodeId src, NodeId dst) const noexcept;
+
+  /// Total cycles messages spent queued behind busy links (diagnostics).
+  [[nodiscard]] Cycles total_queueing() const noexcept {
+    return total_queueing_;
+  }
+
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] Topology topology() const noexcept { return topology_; }
+
+ private:
+  /// Grid node id of the next router on the route toward `dst`
+  /// (dimension-order for the mesh, shorter way round for the ring).
+  [[nodiscard]] int next_router(int at, int dst) const noexcept;
+
+  [[nodiscard]] Cycles& link_free(int from, int to) noexcept {
+    return link_free_[static_cast<std::size_t>(from) *
+                          static_cast<std::size_t>(routers_) +
+                      static_cast<std::size_t>(to)];
+  }
+
+  int num_nodes_;
+  Topology topology_;
+  int mesh_w_ = 0;   ///< Mesh grid width (kMesh2D only).
+  int routers_ = 0;  ///< Router count (grid may exceed num_nodes_).
+  Cycles hop_;
+  Cycles occupancy_;
+  std::vector<Cycles> link_free_;
+  Cycles total_queueing_ = 0;
+  Stats& stats_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,65 @@
+#include "sim/config.hpp"
+
+#include <bit>
+
+namespace lssim {
+
+MachineConfig MachineConfig::scientific_default(ProtocolKind kind,
+                                                int nodes) {
+  MachineConfig config;
+  config.num_nodes = nodes;
+  config.l1 = CacheConfig{4 * 1024, 1, 16};
+  config.l2 = CacheConfig{64 * 1024, 1, 16};
+  config.protocol.kind = kind;
+  return config;
+}
+
+MachineConfig MachineConfig::oltp_default(ProtocolKind kind, int nodes) {
+  MachineConfig config;
+  config.num_nodes = nodes;
+  config.l1 = CacheConfig{64 * 1024, 2, 32};
+  config.l2 = CacheConfig{512 * 1024, 1, 32};
+  config.protocol.kind = kind;
+  return config;
+}
+
+std::string MachineConfig::validate() const {
+  if (num_nodes < 1 || num_nodes > kMaxNodes) {
+    return "num_nodes must be in [1, 64]";
+  }
+  if (!std::has_single_bit(page_bytes)) {
+    return "page_bytes must be a power of two";
+  }
+  for (const CacheConfig* cache : {&l1, &l2}) {
+    if (cache->size_bytes == 0 || cache->assoc == 0 ||
+        cache->block_bytes == 0) {
+      return "cache geometry fields must be nonzero";
+    }
+    if (!std::has_single_bit(cache->block_bytes) ||
+        !std::has_single_bit(cache->num_sets())) {
+      return "cache block size and set count must be powers of two";
+    }
+    if (cache->size_bytes % (cache->assoc * cache->block_bytes) != 0) {
+      return "cache size must be divisible by assoc * block size";
+    }
+    if (cache->block_bytes > 256) {
+      return "block size above 256 bytes is not supported";
+    }
+  }
+  if (l1.block_bytes != l2.block_bytes) {
+    return "L1 and L2 must use the same block size (inclusive hierarchy)";
+  }
+  if (l2.size_bytes < l1.size_bytes) {
+    return "L2 must be at least as large as L1 (inclusive hierarchy)";
+  }
+  if (word_bytes == 0 || !std::has_single_bit(word_bytes) ||
+      word_bytes > l1.block_bytes) {
+    return "word_bytes must be a power of two no larger than a block";
+  }
+  if (protocol.tag_hysteresis == 0 || protocol.detag_hysteresis == 0) {
+    return "hysteresis depths must be at least 1";
+  }
+  return {};
+}
+
+}  // namespace lssim

@@ -1,0 +1,188 @@
+// Machine, protocol and latency configuration (paper Table 1 / Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace lssim {
+
+/// Which coherence technique the memory system runs.
+///   kBaseline — DASH-like full-map write-invalidate protocol.
+///   kAd       — adaptive migratory-sharing optimization
+///               (Stenström/Brorsson/Sandberg, ISCA'93); the paper's "AD".
+///   kLs       — the paper's load-store protocol extension.
+///   kIls      — instruction-centric load-exclusive prediction (related
+///               work: Kaxiras/Goodman HPCA'99, Nilsson/Dahlgren
+///               ICPP'99); an extension for comparison, see
+///               core/ils_predictor.hpp.
+enum class ProtocolKind : std::uint8_t { kBaseline, kAd, kLs, kIls };
+
+[[nodiscard]] constexpr const char* to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kBaseline: return "Baseline";
+    case ProtocolKind::kAd: return "AD";
+    case ProtocolKind::kLs: return "LS";
+    case ProtocolKind::kIls: return "ILS";
+  }
+  return "?";
+}
+
+/// Geometry of one cache level. Sizes in bytes; direct-mapped is assoc 1.
+struct CacheConfig {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t assoc = 1;
+  std::uint32_t block_bytes = 16;
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return size_bytes / (assoc * block_bytes);
+  }
+};
+
+/// Component latencies (cycles), Figure 2 / Table 1. The composition rules
+/// live in core/protocol.cpp; with these defaults an uncontended read miss
+/// costs exactly 100 (local), 220 (2-hop clean) and 420 (4-hop read-on-
+/// dirty) cycles, matching the paper's Table 1.
+struct LatencyConfig {
+  Cycles l1_access = 1;    ///< L1 hit.
+  Cycles l2_access = 10;   ///< L2 tag+data access.
+  Cycles l2_readout = 20;  ///< Reading a dirty block out of a remote L2.
+  Cycles controller = 20;  ///< One pass through a node's memory controller.
+  Cycles memory = 40;      ///< DRAM / directory access (done in parallel).
+  Cycles hop = 40;         ///< One network traversal.
+  Cycles fill = 10;        ///< Refilling the local cache on reply.
+  /// How long a message occupies its source->dest link (contention model).
+  Cycles link_occupancy = 8;
+};
+
+/// Knobs for the LS / AD techniques (paper §3.1 and §5.5 variations).
+struct ProtocolConfig {
+  ProtocolKind kind = ProtocolKind::kBaseline;
+
+  /// §5.5: treat every block as tagged from the start (first cold read
+  /// returns an exclusive copy).
+  bool default_tagged = false;
+
+  /// §5.5: hysteresis depth for tagging. 1 = tag on the first qualifying
+  /// event (the paper's default); 2 = require two consecutive events.
+  std::uint8_t tag_hysteresis = 1;
+
+  /// §5.5: hysteresis depth for de-tagging (1 = immediate, the default).
+  std::uint8_t detag_hysteresis = 1;
+
+  /// §5.5 heuristic: keep the LS bit when an ownership request arrives
+  /// that was not preceded by a read from the same processor.
+  bool keep_tag_on_lone_write = false;
+
+  /// AD only: the migratory property is dropped when the owning copy is
+  /// replaced (the hand-off chain is broken — the fragility the paper's
+  /// §3.1 exploits). With false, AD's tag persists across replacements
+  /// like the LS bit does; kept as a knob because Stenström et al. leave
+  /// the case under-specified. The default reproduces the paper's
+  /// measured AD coverage (Table 3).
+  bool ad_detag_on_replacement = true;
+};
+
+/// Directory organisation.
+///   kFullMap    — one presence bit per node (the paper's machine).
+///   kLimitedPtr — Dir_iB (Agarwal et al.): `directory_pointers` sharer
+///                 pointers; when they overflow, the directory falls back
+///                 to broadcast invalidation and loses precise-sharer
+///                 knowledge (which also blinds AD's migratory detection
+///                 — the LS bit needs no sharer list and is unaffected).
+enum class DirectoryScheme : std::uint8_t { kFullMap, kLimitedPtr };
+
+[[nodiscard]] constexpr const char* to_string(DirectoryScheme s) noexcept {
+  switch (s) {
+    case DirectoryScheme::kFullMap: return "full-map";
+    case DirectoryScheme::kLimitedPtr: return "limited-ptr";
+  }
+  return "?";
+}
+
+/// Interconnection topology (paper baseline: fixed-delay point-to-point,
+/// i.e. a crossbar; ring and 2D mesh are extensions for sensitivity
+/// studies — see net/network.hpp).
+enum class Topology : std::uint8_t { kCrossbar, kRing, kMesh2D };
+
+[[nodiscard]] constexpr const char* to_string(Topology t) noexcept {
+  switch (t) {
+    case Topology::kCrossbar: return "crossbar";
+    case Topology::kRing: return "ring";
+    case Topology::kMesh2D: return "mesh2d";
+  }
+  return "?";
+}
+
+/// Memory consistency model (paper §6 discussion).
+///   kSc — sequential consistency: the processor stalls for the full
+///         latency of every L2 miss, reads and writes (paper default).
+///   kPc — processor consistency: plain stores retire into a finite
+///         per-processor write buffer and only stall when it is full;
+///         reads and atomic RMWs remain blocking. Models the paper's
+///         prediction that relaxed models shrink the write-stall benefit
+///         while the traffic benefit stays.
+enum class ConsistencyModel : std::uint8_t { kSc, kPc };
+
+[[nodiscard]] constexpr const char* to_string(ConsistencyModel m) noexcept {
+  switch (m) {
+    case ConsistencyModel::kSc: return "SC";
+    case ConsistencyModel::kPc: return "PC";
+  }
+  return "?";
+}
+
+/// Whole-machine configuration.
+struct MachineConfig {
+  int num_nodes = 4;
+  std::uint32_t page_bytes = 4096;  ///< Round-robin home interleaving unit.
+  CacheConfig l1{4 * 1024, 1, 16};
+  CacheConfig l2{64 * 1024, 1, 16};
+  LatencyConfig latency;
+  ProtocolConfig protocol;
+  /// Word size for the Dubois false-sharing classifier; tracking is
+  /// enabled per run because it costs memory.
+  std::uint32_t word_bytes = 4;
+  bool classify_false_sharing = false;
+
+  ConsistencyModel consistency = ConsistencyModel::kSc;
+  /// Write-buffer entries per processor under kPc.
+  std::uint8_t write_buffer_depth = 8;
+
+  Topology topology = Topology::kCrossbar;
+
+  DirectoryScheme directory_scheme = DirectoryScheme::kFullMap;
+  /// Sharer pointers per entry under kLimitedPtr (Dir_iB).
+  std::uint8_t directory_pointers = 4;
+
+  /// When nonzero, System records an EpochSample of headline counters
+  /// every `stats_epoch` simulated cycles (see stats/timeline.hpp).
+  Cycles stats_epoch = 0;
+
+  /// When nonzero, the memory system retains the last N protocol events
+  /// in a ring for debugging (see core/event_log.hpp).
+  std::size_t event_log_capacity = 0;
+
+  /// Watchdog: when nonzero, System::run() stops once any processor's
+  /// clock passes this budget and reports timed_out() — turning workload
+  /// livelocks (e.g. an unfair lock under a pathological schedule) into
+  /// a diagnosable condition instead of a hung process.
+  Cycles max_cycles = 0;
+
+  /// Baseline configuration used for the scientific applications
+  /// (paper §4.2): 4 kB DM L1, 64 kB DM L2, 16-byte blocks.
+  [[nodiscard]] static MachineConfig scientific_default(
+      ProtocolKind kind = ProtocolKind::kBaseline, int nodes = 4);
+
+  /// OLTP configuration (paper §4.2): 64 kB 2-way L1, 512 kB DM L2,
+  /// 32-byte blocks.
+  [[nodiscard]] static MachineConfig oltp_default(
+      ProtocolKind kind = ProtocolKind::kBaseline, int nodes = 4);
+
+  /// Validates invariants (power-of-two geometry, node count); returns an
+  /// empty string when valid, otherwise a description of the problem.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace lssim

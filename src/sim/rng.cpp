@@ -1,0 +1,64 @@
+#include "sim/rng.hpp"
+
+namespace lssim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr std::uint64_t splitmix64(std::uint64_t& s) noexcept {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  for (auto& word : state_) {
+    word = splitmix64(seed);
+  }
+  // All-zero state is the single invalid state of xoshiro; SplitMix64
+  // cannot produce four zero outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection-free mapping is fine here: the bias for
+  // bound << 2^64 is far below anything a simulation could observe.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace lssim

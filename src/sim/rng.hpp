@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// Simulations must be bit-for-bit reproducible across runs and platforms,
+// so we implement xoshiro256** (public domain, Blackman & Vigna) rather
+// than relying on implementation-defined std::mt19937 distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lssim {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64
+  /// so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t next_range(std::uint64_t lo,
+                                         std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  [[nodiscard]] bool next_bool(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lssim

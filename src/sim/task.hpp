@@ -1,0 +1,192 @@
+// Coroutine task types used to express simulated-processor programs.
+//
+// A workload "thread" is an ordinary C++20 coroutine returning SimTask<void>.
+// Every simulated memory access inside it is a co_await; the scheduler in
+// machine/system.hpp resumes the processor whose local clock is earliest,
+// which realises a sequentially consistent global interleaving.
+//
+// SimTask supports nesting (helper coroutines awaited with co_await) via
+// continuation chaining with symmetric transfer, so locks, barriers and
+// workload subroutines compose naturally.
+//
+// PORTABILITY WORKAROUND (GCC 12.x): a coroutine whose body contains
+// `co_await` inside a *condition* expression — `while (co_await x)`,
+// `do {...} while (co_await x)`, `if (co_await x)` — is miscompiled by
+// GCC 12 when awaited through symmetric transfer (the child coroutine is
+// never entered; verified with a 60-line standalone reproducer). Always
+// hoist the await into a named local first:
+//     for (;;) { const auto v = co_await p.read(a); if (v != 0) break; }
+// Awaits in initializers, call arguments and ordinary binary expressions
+// are unaffected.
+#pragma once
+
+#include <coroutine>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace lssim {
+
+template <typename T>
+class SimTask;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> handle) const noexcept {
+      auto cont = handle.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  // Workload coroutines must not leak exceptions into the scheduler; a
+  // throwing workload is a bug in the simulation setup.
+  [[noreturn]] void unhandled_exception() const noexcept { std::abort(); }
+};
+
+}  // namespace detail
+
+/// Lazily-started coroutine task. Move-only; owns the coroutine frame.
+template <typename T = void>
+class [[nodiscard]] SimTask {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    SimTask get_return_object() noexcept {
+      return SimTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) noexcept { value = std::move(v); }
+  };
+
+  SimTask() noexcept = default;
+  SimTask(SimTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  /// Awaiting a SimTask starts the child coroutine and resumes the parent
+  /// (via symmetric transfer) once the child co_returns.
+  struct Awaiter {
+    std::coroutine_handle<promise_type> child;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> parent) const noexcept {
+      child.promise().continuation = parent;
+      return child;
+    }
+    T await_resume() const { return std::move(child.promise().value); }
+  };
+  Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
+
+  /// Starts or continues the task from the outside (top-level only).
+  void resume() const { handle_.resume(); }
+  [[nodiscard]] bool done() const noexcept {
+    return !handle_ || handle_.done();
+  }
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] std::coroutine_handle<> handle() const noexcept {
+    return handle_;
+  }
+  [[nodiscard]] const T& value() const noexcept {
+    return handle_.promise().value;
+  }
+
+ private:
+  explicit SimTask(std::coroutine_handle<promise_type> handle) noexcept
+      : handle_(handle) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] SimTask<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    SimTask get_return_object() noexcept {
+      return SimTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() const noexcept {}
+  };
+
+  SimTask() noexcept = default;
+  SimTask(SimTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> child;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> parent) const noexcept {
+      child.promise().continuation = parent;
+      return child;
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() const& noexcept { return Awaiter{handle_}; }
+
+  void resume() const { handle_.resume(); }
+  [[nodiscard]] bool done() const noexcept {
+    return !handle_ || handle_.done();
+  }
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] std::coroutine_handle<> handle() const noexcept {
+    return handle_;
+  }
+
+ private:
+  explicit SimTask(std::coroutine_handle<promise_type> handle) noexcept
+      : handle_(handle) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace lssim

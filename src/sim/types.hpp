@@ -1,0 +1,43 @@
+// Fundamental simulator-wide types.
+//
+// The simulator models a CC-NUMA multiprocessor in *simulated* time; all
+// quantities here are about the simulated machine, never about host time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lssim {
+
+/// Simulated physical address (byte granularity).
+using Addr = std::uint64_t;
+
+/// Simulated time, in processor clock cycles.
+using Cycles = std::uint64_t;
+
+/// Node (processor/memory-module) identifier. The full-map directory
+/// supports up to 64 nodes.
+using NodeId = std::uint8_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr int kMaxNodes = 64;
+
+/// Kind of data access issued by a processor.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// Which part of the workload issued an access. Mirrors the paper's
+/// Table 2 split of the OLTP workload into MySQL / libraries / OS; other
+/// workloads use kApp only.
+enum class StreamTag : std::uint8_t { kApp = 0, kLibrary = 1, kOs = 2 };
+inline constexpr int kNumStreamTags = 3;
+
+[[nodiscard]] constexpr const char* to_string(StreamTag tag) noexcept {
+  switch (tag) {
+    case StreamTag::kApp: return "app";
+    case StreamTag::kLibrary: return "library";
+    case StreamTag::kOs: return "os";
+  }
+  return "?";
+}
+
+}  // namespace lssim

@@ -1,0 +1,5 @@
+#include "stats/false_sharing.hpp"
+
+// Header-only today; this TU anchors the module.
+
+namespace lssim {}  // namespace lssim

@@ -1,0 +1,111 @@
+// Dubois-style classification of coherence misses into true- and
+// false-sharing misses (paper Table 4).
+//
+// Definition used (Dubois et al., ISCA'93, adapted to word granularity):
+// a miss caused by an invalidation is a *false sharing* miss if, during
+// the new lifetime of the block in the missing processor's cache, the
+// processor never touches a word that was written by another processor
+// between the invalidation and the re-fetch. Classification is therefore
+// deferred: the candidate foreign-written word mask is attached to the
+// refilled line and resolved on first intersection (true sharing) or at
+// line death (false sharing).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/cache.hpp"
+#include "sim/types.hpp"
+#include "stats/stats.hpp"
+
+namespace lssim {
+
+class FalseSharingClassifier {
+ public:
+  /// Disabled classifiers are no-ops with zero cost; enable only for runs
+  /// that need Table 4 (tracking costs memory proportional to the number
+  /// of invalidated (node, block) pairs).
+  FalseSharingClassifier(bool enabled, Stats& stats)
+      : enabled_(enabled), stats_(stats) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Node `node` lost its copy of `block` to a coherence invalidation.
+  void on_invalidated(NodeId node, Addr block) {
+    if (!enabled_) return;
+    pending_[block] |= std::uint64_t{1} << node;
+    foreign_[key(node, block)] = 0;
+  }
+
+  /// `writer` wrote the words in `mask` within `block`; accumulate them
+  /// for every other node whose copy is currently invalidated.
+  void on_write_words(NodeId writer, Addr block, std::uint64_t mask) {
+    if (!enabled_) return;
+    const auto it = pending_.find(block);
+    if (it == pending_.end() || it->second == 0) return;
+    std::uint64_t nodes = it->second & ~(std::uint64_t{1} << writer);
+    while (nodes != 0) {
+      const int node = __builtin_ctzll(nodes);
+      nodes &= nodes - 1;
+      foreign_[key(static_cast<NodeId>(node), block)] |= mask;
+    }
+  }
+
+  /// Node `node` refills `block` after a miss. Marks the new line for
+  /// deferred classification when the miss was invalidation-caused.
+  void on_fill(NodeId node, Addr block, CacheLine& line) {
+    if (!enabled_) return;
+    const auto it = pending_.find(block);
+    const std::uint64_t bit = std::uint64_t{1} << node;
+    if (it == pending_.end() || (it->second & bit) == 0) return;
+    it->second &= ~bit;
+    const auto fit = foreign_.find(key(node, block));
+    line.fs_pending = true;
+    line.fs_foreign_mask = fit == foreign_.end() ? 0 : fit->second;
+    if (fit != foreign_.end()) foreign_.erase(fit);
+    stats_.coherence_misses += 1;
+  }
+
+  /// Called on every access to a pending line; resolves it as a
+  /// true-sharing miss once the accessed words intersect the foreign set.
+  void on_access(CacheLine& line, std::uint64_t word_mask) noexcept {
+    if (!enabled_ || !line.fs_pending) return;
+    if ((line.fs_foreign_mask & word_mask) != 0) {
+      line.fs_pending = false;  // True sharing: not counted as false.
+    }
+  }
+
+  /// Line died (eviction, invalidation, or end of run) while still
+  /// pending: no foreign-written word was ever touched -> false sharing.
+  void on_line_death(const CacheLine& line) noexcept {
+    if (!enabled_ || !line.fs_pending) return;
+    stats_.false_sharing_misses += 1;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(NodeId node, Addr block) noexcept {
+    return (block << 6) | node;
+  }
+
+  bool enabled_;
+  Stats& stats_;
+  std::unordered_map<Addr, std::uint64_t> pending_;     // block -> node mask
+  std::unordered_map<std::uint64_t, std::uint64_t> foreign_;
+};
+
+/// Word mask covering [addr, addr+size) within its block.
+[[nodiscard]] inline std::uint64_t word_mask_of(Addr addr, unsigned size,
+                                                std::uint32_t block_bytes,
+                                                std::uint32_t word_bytes) {
+  const Addr offset = addr & (block_bytes - 1);
+  const std::uint32_t first = static_cast<std::uint32_t>(offset / word_bytes);
+  const std::uint32_t last =
+      static_cast<std::uint32_t>((offset + size - 1) / word_bytes);
+  std::uint64_t mask = 0;
+  for (std::uint32_t w = first; w <= last && w < 64; ++w) {
+    mask |= std::uint64_t{1} << w;
+  }
+  return mask;
+}
+
+}  // namespace lssim

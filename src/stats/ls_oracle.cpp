@@ -1,0 +1,5 @@
+#include "stats/ls_oracle.hpp"
+
+// Header-only today; this TU anchors the module.
+
+namespace lssim {}  // namespace lssim

@@ -1,0 +1,225 @@
+#include "stats/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace lssim {
+
+double normalized(std::uint64_t value, std::uint64_t base) noexcept {
+  return base == 0 ? 0.0
+                   : 100.0 * static_cast<double>(value) /
+                         static_cast<double>(base);
+}
+
+std::string pct(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", 100.0 * value);
+  return buffer;
+}
+
+namespace {
+
+std::string fixed1(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%7.1f", v);
+  return buffer;
+}
+
+}  // namespace
+
+void print_latency_histogram(std::ostream& os, const char* title,
+                             const LatencyHistogram& hist) {
+  os << "-- " << title << " (" << hist.samples() << " samples, mean "
+     << static_cast<std::uint64_t>(hist.mean()) << " cy, p50 <= "
+     << hist.percentile(0.5) << ", p99 <= " << hist.percentile(0.99)
+     << ") --\n";
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    const std::uint64_t count = hist.count(b);
+    if (count == 0) continue;
+    char line[96];
+    std::snprintf(line, sizeof(line), "  [%7llu, %7llu)  %10llu  ",
+                  static_cast<unsigned long long>(1ull << b),
+                  static_cast<unsigned long long>(1ull << (b + 1)),
+                  static_cast<unsigned long long>(count));
+    os << line;
+    const int bars = static_cast<int>(
+        60.0 * static_cast<double>(count) /
+        static_cast<double>(hist.samples()));
+    for (int i = 0; i < bars; ++i) os << '#';
+    os << "\n";
+  }
+}
+
+void print_traffic_matrix(std::ostream& os, const TrafficMatrix& matrix) {
+  os << "-- traffic matrix (messages, src row -> dst column) --\n    ";
+  for (int d = 0; d < matrix.num_nodes(); ++d) {
+    char head[24];
+    std::snprintf(head, sizeof(head), "%9s%-2d", "P", d);
+    os << head;
+  }
+  os << "\n";
+  for (int s = 0; s < matrix.num_nodes(); ++s) {
+    char row[16];
+    std::snprintf(row, sizeof(row), "P%-3d", s);
+    os << row;
+    for (int d = 0; d < matrix.num_nodes(); ++d) {
+      char cell[16];
+      std::snprintf(cell, sizeof(cell), "%11llu",
+                    static_cast<unsigned long long>(matrix.count(
+                        static_cast<NodeId>(s), static_cast<NodeId>(d))));
+      os << cell;
+    }
+    os << "\n";
+  }
+}
+
+void print_timeline(std::ostream& os, const EpochTimeline& timeline) {
+  os << "-- epoch timeline (deltas per epoch of "
+     << timeline.epoch_length() << " cycles) --\n";
+  os << "        end   accesses   messages  rd-misses  wr-actions  "
+        "eliminated\n";
+  for (const EpochSample& s : timeline.samples()) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "%11llu %10llu %10llu %10llu %11llu %11llu",
+                  static_cast<unsigned long long>(s.end_time),
+                  static_cast<unsigned long long>(s.accesses),
+                  static_cast<unsigned long long>(s.messages),
+                  static_cast<unsigned long long>(s.read_misses),
+                  static_cast<unsigned long long>(s.write_actions),
+                  static_cast<unsigned long long>(s.eliminated));
+    os << line << "\n";
+  }
+}
+
+void print_behavior_figure(std::ostream& os, const std::string& name,
+                           std::span<const RunResult> results) {
+  if (results.empty()) return;
+  const RunResult& base = results.front();
+
+  os << "== Behavior of " << name << " ==\n";
+  os << "-- Normalized execution time (Baseline total = 100) --\n";
+  os << "            ";
+  for (const auto& r : results) os << "  " << to_string(r.protocol) << "\t";
+  os << "\n";
+  const auto t_base = static_cast<double>(base.time.total());
+  auto row = [&](const char* label, auto getter) {
+    os << label;
+    for (const auto& r : results) {
+      os << fixed1(t_base == 0 ? 0.0 : 100.0 * getter(r) / t_base) << "\t";
+    }
+    os << "\n";
+  };
+  row("  busy      ", [](const RunResult& r) {
+    return static_cast<double>(r.time.busy);
+  });
+  row("  read stall", [](const RunResult& r) {
+    return static_cast<double>(r.time.read_stall);
+  });
+  row("  write stal", [](const RunResult& r) {
+    return static_cast<double>(r.time.write_stall);
+  });
+  row("  TOTAL     ", [](const RunResult& r) {
+    return static_cast<double>(r.time.total());
+  });
+
+  os << "-- Normalized message count (Baseline total = 100) --\n";
+  const auto m_base = static_cast<double>(base.traffic_total);
+  auto trow = [&](const char* label, MsgClass cls) {
+    os << label;
+    for (const auto& r : results) {
+      os << fixed1(m_base == 0 ? 0.0
+                               : 100.0 *
+                                     static_cast<double>(
+                                         r.traffic[static_cast<std::size_t>(
+                                             cls)]) /
+                                     m_base)
+         << "\t";
+    }
+    os << "\n";
+  };
+  trow("  read      ", MsgClass::kRead);
+  trow("  write     ", MsgClass::kWrite);
+  trow("  other     ", MsgClass::kOther);
+  os << "  TOTAL     ";
+  for (const auto& r : results) {
+    os << fixed1(m_base == 0 ? 0.0
+                             : 100.0 * static_cast<double>(r.traffic_total) /
+                                   m_base)
+       << "\t";
+  }
+  os << "\n";
+
+  os << "-- Normalized global read misses (Baseline total = 100) --\n";
+  const auto rm_base = static_cast<double>(base.global_read_misses);
+  for (int s = 0; s < kNumHomeStates; ++s) {
+    os << "  " << to_string(static_cast<HomeStateAtMiss>(s));
+    for (std::size_t pad = 0;
+         pad < 16 - std::string(to_string(static_cast<HomeStateAtMiss>(s)))
+                        .size();
+         ++pad) {
+      os << ' ';
+    }
+    for (const auto& r : results) {
+      os << fixed1(
+                rm_base == 0
+                    ? 0.0
+                    : 100.0 *
+                          static_cast<double>(
+                              r.read_miss_home[static_cast<std::size_t>(s)]) /
+                          rm_base)
+         << "\t";
+    }
+    os << "\n";
+  }
+  os << "  TOTAL           ";
+  for (const auto& r : results) {
+    os << fixed1(rm_base == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(r.global_read_misses) /
+                           rm_base)
+       << "\t";
+  }
+  os << "\n\n";
+}
+
+void print_invalidation_figure(std::ostream& os, const std::string& name,
+                               std::span<const RunResult> results,
+                               std::span<const std::string> labels) {
+  if (results.empty()) return;
+  os << "== Invalidation traffic for " << name << " ==\n";
+  os << "             ";
+  for (const auto& label : labels) os << "  " << label << "\t";
+  os << "\n";
+  const double base = static_cast<double>(results.front().invalidations +
+                                          results.front().ownership_acquisitions);
+  os << "  global inv ";
+  for (const auto& r : results) {
+    os << fixed1(base == 0 ? 0.0
+                           : 100.0 *
+                                 static_cast<double>(
+                                     r.ownership_acquisitions) /
+                                 base)
+       << "\t";
+  }
+  os << "\n  invalidatns";
+  for (const auto& r : results) {
+    os << fixed1(base == 0 ? 0.0
+                           : 100.0 * static_cast<double>(r.invalidations) /
+                                 base)
+       << "\t";
+  }
+  os << "\n  TOTAL      ";
+  for (const auto& r : results) {
+    os << fixed1(base == 0
+                     ? 0.0
+                     : 100.0 *
+                           static_cast<double>(r.invalidations +
+                                               r.ownership_acquisitions) /
+                           base)
+       << "\t";
+  }
+  os << "\n\n";
+}
+
+}  // namespace lssim

@@ -1,0 +1,6 @@
+#include "stats/stats.hpp"
+
+// Stats is a plain aggregate; this translation unit exists so the module
+// has a compiled artifact and a place for future non-inline helpers.
+
+namespace lssim {}  // namespace lssim

@@ -1,0 +1,5 @@
+#include "sync/spinlock.hpp"
+
+// Header-only coroutine code; this TU anchors the module.
+
+namespace lssim {}  // namespace lssim

@@ -1,0 +1,5 @@
+#include "sync/task_queue.hpp"
+
+// Header-only coroutine code; this TU anchors the module.
+
+namespace lssim {}  // namespace lssim

@@ -1,0 +1,66 @@
+// Lock-protected circular task queue in simulated shared memory.
+//
+// This is the Cholesky task queue the paper discusses (§5.2): under
+// contention its head/tail words and lock migrate between processors,
+// producing the single invalidations that appear at 16-32 processors.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/processor.hpp"
+#include "mem/shared_heap.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lssim {
+
+class TaskQueue {
+ public:
+  TaskQueue(SharedHeap& heap, std::uint32_t capacity)
+      : lock_(heap),
+        head_addr_(heap.alloc(4, 4)),
+        tail_addr_(heap.alloc(4, 4)),
+        slots_(heap, capacity),
+        capacity_(capacity) {}
+
+  /// Appends `item`; resumes with false when the queue is full.
+  [[nodiscard]] SimTask<bool> push(Processor& proc, std::uint32_t item) {
+    co_await lock_.acquire(proc);
+    const std::uint64_t head = co_await proc.read(head_addr_);
+    const std::uint64_t tail = co_await proc.read(tail_addr_);
+    bool ok = false;
+    if (tail - head < capacity_) {
+      co_await proc.write(slots_.addr(tail % capacity_),
+                          static_cast<std::uint64_t>(item));
+      co_await proc.write(tail_addr_, tail + 1);
+      ok = true;
+    }
+    co_await lock_.release(proc);
+    co_return ok;
+  }
+
+  /// Removes the oldest item; resumes with -1 when the queue is empty.
+  [[nodiscard]] SimTask<std::int64_t> pop(Processor& proc) {
+    co_await lock_.acquire(proc);
+    const std::uint64_t head = co_await proc.read(head_addr_);
+    const std::uint64_t tail = co_await proc.read(tail_addr_);
+    std::int64_t item = -1;
+    if (head != tail) {
+      item = static_cast<std::int64_t>(
+          co_await proc.read(slots_.addr(head % capacity_)));
+      co_await proc.write(head_addr_, head + 1);
+    }
+    co_await lock_.release(proc);
+    co_return item;
+  }
+
+ private:
+  SpinLock lock_;
+  Addr head_addr_;
+  Addr tail_addr_;
+  SharedArray<std::uint32_t> slots_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,42 @@
+// TraceRecorder: tees a System's executed accesses into a Trace.
+//
+// Usage:
+//   System sys(cfg);
+//   Trace trace;
+//   TraceRecorder recorder(sys, trace);
+//   build_workload(sys, ...);
+//   sys.run();                 // trace now holds the full access stream
+#pragma once
+
+#include <vector>
+
+#include "machine/system.hpp"
+#include "trace/trace.hpp"
+
+namespace lssim {
+
+class TraceRecorder {
+ public:
+  TraceRecorder(System& sys, Trace& trace)
+      : trace_(trace),
+        last_completion_(static_cast<std::size_t>(sys.num_procs()), 0) {
+    sys.set_access_observer([this](NodeId node, const AccessRequest& req,
+                                   Cycles issue, Cycles latency) {
+      TraceRecord record;
+      record.addr = req.addr;
+      record.issue_gap = issue - last_completion_[node];
+      record.node = node;
+      record.op = static_cast<std::uint8_t>(req.op);
+      record.size = static_cast<std::uint8_t>(req.size);
+      record.tag = static_cast<std::uint8_t>(req.tag);
+      trace_.append(record);
+      last_completion_[node] = issue + latency;
+    });
+  }
+
+ private:
+  Trace& trace_;
+  std::vector<Cycles> last_completion_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,131 @@
+#include "trace/trace.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "mem/address_space.hpp"
+
+namespace lssim {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  std::array<char, sizeof(T)> bytes{};
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  os.write(bytes.data(), bytes.size());
+}
+
+template <typename T>
+T get(std::istream& is) {
+  std::array<char, sizeof(T)> bytes{};
+  is.read(bytes.data(), bytes.size());
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void Trace::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  put<std::uint64_t>(os, records_.size());
+  for (const TraceRecord& r : records_) {
+    put<std::uint64_t>(os, r.addr);
+    put<std::uint64_t>(os, r.issue_gap);
+    put<std::uint8_t>(os, r.node);
+    put<std::uint8_t>(os, r.op);
+    put<std::uint8_t>(os, r.size);
+    put<std::uint8_t>(os, r.tag);
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not an lssim trace file");
+  }
+  const std::uint64_t count = get<std::uint64_t>(is);
+  Trace trace;
+  trace.records_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.addr = get<std::uint64_t>(is);
+    r.issue_gap = get<std::uint64_t>(is);
+    r.node = get<std::uint8_t>(is);
+    r.op = get<std::uint8_t>(is);
+    r.size = get<std::uint8_t>(is);
+    r.tag = get<std::uint8_t>(is);
+    if (!is) {
+      throw std::runtime_error("truncated lssim trace file");
+    }
+    trace.records_.push_back(r);
+  }
+  return trace;
+}
+
+ReplayResult replay_trace(const Trace& trace, const MachineConfig& config,
+                          Stats& stats) {
+  AddressSpace space(config.num_nodes, config.page_bytes);
+  MemorySystem memory(config, space, stats);
+
+  // Per-node program-order index into the trace.
+  const auto& records = trace.records();
+  std::vector<std::vector<std::size_t>> order(
+      static_cast<std::size_t>(config.num_nodes));
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].node >= order.size()) {
+      throw std::out_of_range("trace record for node outside machine");
+    }
+    order[records[i].node].push_back(i);
+  }
+
+  std::vector<std::size_t> cursor(order.size(), 0);
+  std::vector<Cycles> clock(order.size(), 0);
+  ReplayResult result;
+
+  for (;;) {
+    // Pick the node whose next access issues earliest.
+    int best = -1;
+    Cycles best_issue = std::numeric_limits<Cycles>::max();
+    for (std::size_t n = 0; n < order.size(); ++n) {
+      if (cursor[n] >= order[n].size()) continue;
+      const TraceRecord& r = records[order[n][cursor[n]]];
+      const Cycles issue = clock[n] + r.issue_gap;
+      if (issue < best_issue) {
+        best_issue = issue;
+        best = static_cast<int>(n);
+      }
+    }
+    if (best < 0) break;
+
+    const TraceRecord& r = records[order[best][cursor[best]++]];
+    AccessRequest req;
+    req.op = static_cast<MemOpKind>(r.op);
+    req.addr = r.addr;
+    req.size = r.size;
+    req.tag = static_cast<StreamTag>(r.tag);
+    req.wdata = 1;  // Replay carries no data payloads.
+    const AccessResult res =
+        memory.access(static_cast<NodeId>(best), req, best_issue);
+    clock[best] = best_issue + res.latency;
+    result.accesses += 1;
+  }
+  memory.finalize();
+  for (Cycles c : clock) result.total_cycles += c;
+  return result;
+}
+
+}  // namespace lssim

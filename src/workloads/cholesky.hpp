@@ -1,0 +1,58 @@
+// Cholesky: right-looking column factorization with a dynamic,
+// lock-protected task queue (paper §5.2, SPLASH tk15.0).
+//
+// A task is a completed column j: the worker runs cdiv(j), then applies
+// cmod(k, j) to each dependent column k (under k's column lock) and
+// enqueues k once its last modification lands — the SPLASH structure.
+//
+// Two structure modes:
+//  * kDenseBand — every column modifies all band successors. This is a
+//    genuine banded Cholesky factorization (numerically verified by the
+//    test suite), but adjacent tasks run concurrently and revisit the
+//    same columns back-to-back, which makes the data look migratory.
+//  * kSyntheticSparse (default) — each column modifies a few successors
+//    drawn from a wide window, modeling the tk15.0 sparse matrix's
+//    elimination-tree parallelism: a destination column is visited by a
+//    handful of tasks spread far apart in time, so the previous
+//    visitor's copy is evicted before the next visit. This reproduces
+//    the paper's signature: ownership requests without migration
+//    evidence — AD detects (essentially) nothing at 4 processors while
+//    LS removes nearly all of the overhead. The arithmetic is real FP
+//    work on the columns but not a true factorization (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "machine/system.hpp"
+
+namespace lssim {
+
+enum class CholeskyMode : std::uint8_t { kDenseBand, kSyntheticSparse };
+
+struct CholeskyParams {
+  CholeskyMode mode = CholeskyMode::kSyntheticSparse;
+  int n = 600;         ///< Number of columns (== tasks).
+  /// Column length (rows stored per column). In dense-band mode this is
+  /// the semi-bandwidth. Long columns keep the data-to-synchronization
+  /// write ratio high, like tk15.0's supernodes.
+  int bandwidth = 96;
+  /// kSyntheticSparse: how many successor columns each column modifies.
+  int successors = 6;
+  /// kSyntheticSparse: successors are drawn from (j, j+window]; 0 means
+  /// n/2. Wide windows spread the visits to a column far enough apart
+  /// that the owner's cache turns over in between.
+  int window = 0;
+  /// kSyntheticSparse: probability that a column's successors live in a
+  /// chunk owned by the same processor — tk15.0's elimination-subtree
+  /// locality. High locality keeps completed columns single-reader, so
+  /// LS's exclusive read replies do not bounce.
+  double locality = 0.9;
+  std::uint64_t seed = 17;
+  Cycles compute_per_update = 10;  ///< Modelled FP work per cmod element.
+};
+
+/// Allocates the matrix and the task queue on `sys` and spawns one
+/// worker per processor. Call before System::run().
+void build_cholesky(System& sys, const CholeskyParams& params);
+
+}  // namespace lssim

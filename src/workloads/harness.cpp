@@ -1,0 +1,48 @@
+#include "workloads/harness.hpp"
+
+namespace lssim {
+
+RunResult collect(System& sys) {
+  const Stats& stats = sys.stats();
+  RunResult result;
+  result.protocol = sys.config().protocol.kind;
+  result.exec_time = sys.exec_time();
+  result.time = stats.time_total();
+  for (int c = 0; c < kNumMsgClasses; ++c) {
+    result.traffic[static_cast<std::size_t>(c)] =
+        stats.messages_of_class(static_cast<MsgClass>(c));
+  }
+  result.traffic_total = stats.messages_total();
+  result.read_miss_home = stats.read_miss_home_state;
+  result.global_read_misses = stats.global_read_misses;
+  result.global_write_actions = stats.global_write_actions;
+  result.ownership_acquisitions = stats.ownership_acquisitions;
+  result.invalidations = stats.invalidations_sent;
+  result.single_invalidations = stats.single_invalidations;
+  result.eliminated_acquisitions = stats.eliminated_acquisitions;
+  result.data_misses = stats.data_misses;
+  result.coherence_misses = stats.coherence_misses;
+  result.false_sharing_misses = stats.false_sharing_misses;
+  result.accesses = stats.accesses;
+  result.l1_hits = stats.l1_hits;
+  result.l2_hits = stats.l2_hits;
+  result.blocks_tagged = stats.blocks_tagged;
+  result.blocks_detagged = stats.blocks_detagged;
+  LoadStoreOracle& oracle = sys.memory().oracle();
+  result.oracle_total = oracle.total();
+  for (int t = 0; t < kNumStreamTags; ++t) {
+    result.oracle_by_tag[static_cast<std::size_t>(t)] =
+        oracle.counters(static_cast<StreamTag>(t));
+  }
+  return result;
+}
+
+RunResult run_experiment(const MachineConfig& config,
+                         const WorkloadBuilder& build, std::uint64_t seed) {
+  System sys(config, seed);
+  build(sys);
+  sys.run();
+  return collect(sys);
+}
+
+}  // namespace lssim

@@ -1,0 +1,63 @@
+// Experiment harness: run a workload under a machine configuration and
+// collect the metrics the paper reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "machine/system.hpp"
+#include "sim/config.hpp"
+#include "stats/ls_oracle.hpp"
+#include "stats/stats.hpp"
+
+namespace lssim {
+
+/// Everything a figure/table needs from one simulation run.
+struct RunResult {
+  ProtocolKind protocol = ProtocolKind::kBaseline;
+  Cycles exec_time = 0;       ///< Wall clock: latest processor time.
+  TimeBreakdown time;         ///< Summed over processors.
+  std::array<std::uint64_t, kNumMsgClasses> traffic{};
+  std::uint64_t traffic_total = 0;
+  std::array<std::uint64_t, kNumHomeStates> read_miss_home{};
+  std::uint64_t global_read_misses = 0;
+  std::uint64_t global_write_actions = 0;
+  std::uint64_t ownership_acquisitions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t single_invalidations = 0;
+  std::uint64_t eliminated_acquisitions = 0;
+  std::uint64_t data_misses = 0;
+  std::uint64_t coherence_misses = 0;
+  std::uint64_t false_sharing_misses = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t blocks_tagged = 0;
+  std::uint64_t blocks_detagged = 0;
+  LsOracleCounters oracle_total;
+  std::array<LsOracleCounters, kNumStreamTags> oracle_by_tag{};
+
+  /// Average invalidations per global write action (paper §5.4 quotes
+  /// ~1.4 for OLTP).
+  [[nodiscard]] double invalidations_per_write() const noexcept {
+    return global_write_actions == 0
+               ? 0.0
+               : static_cast<double>(invalidations) /
+                     static_cast<double>(global_write_actions);
+  }
+};
+
+/// Snapshot of a finished System into a RunResult.
+[[nodiscard]] RunResult collect(System& sys);
+
+/// Builds the workload onto `sys` (allocate shared data, spawn programs).
+using WorkloadBuilder = std::function<void(System&)>;
+
+/// Creates a System for `config`, builds the workload, runs it to
+/// completion and returns the collected result.
+[[nodiscard]] RunResult run_experiment(const MachineConfig& config,
+                                       const WorkloadBuilder& build,
+                                       std::uint64_t seed = 1);
+
+}  // namespace lssim

@@ -1,0 +1,85 @@
+#include "workloads/lu.hpp"
+
+#include <memory>
+
+#include "mem/shared_heap.hpp"
+#include "sync/barrier.hpp"
+
+namespace lssim {
+namespace {
+
+struct LuContext {
+  LuParams params;
+  SharedArray<std::uint64_t> matrix;  ///< Row-major n*n doubles.
+  std::unique_ptr<Barrier> barrier;
+
+  [[nodiscard]] Addr elem(int i, int j) const {
+    return matrix.addr(static_cast<std::uint64_t>(i) * params.n +
+                       static_cast<std::uint64_t>(j));
+  }
+};
+
+SimTask<void> lu_program(System& sys, std::shared_ptr<LuContext> ctx,
+                         NodeId id) {
+  Processor& proc = sys.proc(id);
+  const int nprocs = sys.num_procs();
+  const int n = ctx->params.n;
+
+  // Initialise owned columns (column j belongs to processor j mod P):
+  // diagonally dominant so elimination without pivoting is stable.
+  for (int j = id; j < n; j += nprocs) {
+    for (int i = 0; i < n; ++i) {
+      const double value =
+          (i == j) ? 2.0 * n
+                   : 1.0 / (1.0 + static_cast<double>((i * 31 + j * 17) %
+                                                      97));
+      co_await proc.write(ctx->elem(i, j), to_bits(value), 8);
+    }
+  }
+  co_await ctx->barrier->wait(proc);
+
+  for (int k = 0; k < n - 1; ++k) {
+    if (k % nprocs == id) {
+      // Compute the multipliers of column k.
+      const double pivot = from_bits(co_await proc.read(ctx->elem(k, k), 8));
+      for (int i = k + 1; i < n; ++i) {
+        const double a_ik = from_bits(co_await proc.read(ctx->elem(i, k), 8));
+        proc.compute(ctx->params.compute_per_update);
+        co_await proc.write(ctx->elem(i, k), to_bits(a_ik / pivot), 8);
+      }
+    }
+    co_await ctx->barrier->wait(proc);
+
+    // Update owned columns j > k.
+    for (int j = k + 1; j < n; ++j) {
+      if (j % nprocs != id) continue;
+      const double a_kj = from_bits(co_await proc.read(ctx->elem(k, j), 8));
+      for (int i = k + 1; i < n; ++i) {
+        const double l_ik = from_bits(co_await proc.read(ctx->elem(i, k), 8));
+        const double a_ij = from_bits(co_await proc.read(ctx->elem(i, j), 8));
+        proc.compute(ctx->params.compute_per_update);
+        co_await proc.write(ctx->elem(i, j), to_bits(a_ij - l_ik * a_kj), 8);
+      }
+    }
+    co_await ctx->barrier->wait(proc);
+  }
+}
+
+}  // namespace
+
+void build_lu(System& sys, const LuParams& params) {
+  auto ctx = std::make_shared<LuContext>();
+  ctx->params = params;
+  ctx->matrix = SharedArray<std::uint64_t>(
+      sys.heap(),
+      static_cast<std::uint64_t>(params.n) * params.n, 16);
+  ctx->barrier = std::make_unique<Barrier>(sys.heap(), sys.num_procs());
+
+  for (int n = 0; n < sys.num_procs(); ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              lu_program(sys, ctx, static_cast<NodeId>(n)));
+  }
+  sys.retain(ctx);
+}
+
+}  // namespace lssim

@@ -1,0 +1,29 @@
+// LU: dense LU decomposition without pivoting, 256x256 doubles
+// (paper §5.3).
+//
+// Columns are owned round-robin by processors; the matrix is stored
+// row-major, so with 16-byte blocks two adjacent columns (owned by
+// *different* processors) share every cache block. Each elimination step
+// k the owner of column k scales it, everyone synchronizes at a barrier,
+// then every processor updates its own columns j > k. The interleaved
+// per-element read-modify-writes by different owners within one block
+// create the false-sharing "illusion of migratory behaviour" the paper
+// reports for LU at 4 processors.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/system.hpp"
+
+namespace lssim {
+
+struct LuParams {
+  int n = 256;  ///< Paper: 256x256 matrix.
+  std::uint64_t seed = 3;
+  Cycles compute_per_update = 10;  ///< Modelled FP work per inner update.
+};
+
+/// Allocates the matrix on `sys` and spawns one program per processor.
+void build_lu(System& sys, const LuParams& params);
+
+}  // namespace lssim

@@ -1,0 +1,119 @@
+#include "workloads/mp3d.hpp"
+
+#include <memory>
+
+#include "mem/shared_heap.hpp"
+#include "sync/barrier.hpp"
+
+namespace lssim {
+namespace {
+
+// Particle record: 4 x 8B = 32 bytes (two 16-byte blocks in the default
+// scientific configuration): position, velocity, cell cache, energy.
+constexpr int kParticleWords = 4;
+// Cell record: 2 x 8B = 16 bytes = exactly one block: count + momentum.
+constexpr int kCellWords = 2;
+
+struct Mp3dContext {
+  Mp3dParams params;
+  int num_cells = 0;
+  SharedArray<std::uint64_t> particles;
+  SharedArray<std::uint64_t> cells;
+  Addr reservoir = 0;  ///< Global boundary-crossing counter (migratory).
+  Barrier* barrier = nullptr;
+  std::unique_ptr<Barrier> barrier_storage;
+};
+
+SimTask<void> mp3d_program(System& sys, std::shared_ptr<Mp3dContext> ctx,
+                           NodeId id) {
+  Processor& proc = sys.proc(id);
+  const int nprocs = sys.num_procs();
+  const int total = ctx->params.particles;
+  const int first = static_cast<int>(
+      static_cast<std::int64_t>(total) * id / nprocs);
+  const int last = static_cast<int>(
+      static_cast<std::int64_t>(total) * (id + 1) / nprocs);
+  const double space = 1024.0;
+
+  // Initialise owned particles (cold writes; round-robin pages spread the
+  // records across homes as the real allocator would).
+  for (int p = first; p < last; ++p) {
+    const Addr base = ctx->particles.addr(
+        static_cast<std::uint64_t>(p) * kParticleWords);
+    const double pos = proc.rng().next_double() * space;
+    const double vel = 1.0 + proc.rng().next_double() * 15.0;
+    co_await proc.write(base + 0, to_bits(pos), 8);
+    co_await proc.write(base + 8, to_bits(vel), 8);
+    co_await proc.write(base + 16, 0, 8);
+    co_await proc.write(base + 24, to_bits(0.5 * vel * vel), 8);
+  }
+  co_await ctx->barrier->wait(proc);
+
+  for (int step = 0; step < ctx->params.steps; ++step) {
+    for (int p = first; p < last; ++p) {
+      const Addr base = ctx->particles.addr(
+          static_cast<std::uint64_t>(p) * kParticleWords);
+      // Move: read position/velocity, integrate, write the position back
+      // (a load-store sequence on the first record block) and store the
+      // recomputed energy (a write not preceded by a read of its block,
+      // like MP3D's derived fields — no load-store sequence there).
+      double pos = from_bits(co_await proc.read(base + 0, 8));
+      const double vel = from_bits(co_await proc.read(base + 8, 8));
+      proc.compute(ctx->params.compute_per_particle);
+      pos += vel;
+      if (pos >= space) {
+        pos -= space;
+        // Boundary crossing: reservoir bookkeeping (hot migratory word).
+        co_await proc.fetch_add(ctx->reservoir, 1, 8);
+      }
+      co_await proc.write(base + 0, to_bits(pos), 8);
+      co_await proc.write(base + 24, to_bits(0.5 * vel * vel), 8);
+
+      // Cell update: whichever processor's particle sits in the cell
+      // read-modify-writes the cell record -> migratory sharing.
+      const int cell = static_cast<int>(pos / space *
+                                        static_cast<double>(ctx->num_cells));
+      const Addr cell_base = ctx->cells.addr(
+          static_cast<std::uint64_t>(cell) * kCellWords);
+      const std::uint64_t count = co_await proc.read(cell_base + 0, 8);
+      co_await proc.write(cell_base + 0, count + 1, 8);
+      const double momentum = from_bits(co_await proc.read(cell_base + 8, 8));
+      co_await proc.write(cell_base + 8, to_bits(momentum + vel), 8);
+
+      // Collision attempt for co-resident particles (cheap model: the
+      // cell count parity decides), touching the record again.
+      if ((count & 1) != 0) {
+        proc.compute(6);
+        co_await proc.write(base + 16,
+                            static_cast<std::uint64_t>(cell), 8);
+      }
+    }
+    co_await ctx->barrier->wait(proc);
+  }
+}
+
+}  // namespace
+
+void build_mp3d(System& sys, const Mp3dParams& params) {
+  auto ctx = std::make_shared<Mp3dContext>();
+  ctx->params = params;
+  ctx->num_cells = params.cells_x * params.cells_y * params.cells_z;
+  ctx->particles = SharedArray<std::uint64_t>(
+      sys.heap(),
+      static_cast<std::uint64_t>(params.particles) * kParticleWords, 32);
+  ctx->cells = SharedArray<std::uint64_t>(
+      sys.heap(), static_cast<std::uint64_t>(ctx->num_cells) * kCellWords,
+      16);
+  ctx->reservoir = sys.heap().alloc(8, 8);
+  ctx->barrier_storage = std::make_unique<Barrier>(sys.heap(),
+                                                   sys.num_procs());
+  ctx->barrier = ctx->barrier_storage.get();
+
+  for (int n = 0; n < sys.num_procs(); ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              mp3d_program(sys, ctx, static_cast<NodeId>(n)));
+  }
+  sys.retain(ctx);
+}
+
+}  // namespace lssim

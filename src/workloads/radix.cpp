@@ -1,0 +1,149 @@
+#include "workloads/radix.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "mem/shared_heap.hpp"
+#include "sync/barrier.hpp"
+
+namespace lssim {
+namespace {
+
+struct RadixContext {
+  RadixParams params;
+  int radix = 0;
+  int passes = 0;
+  SharedArray<std::uint32_t> array_a;  ///< Keys (ping).
+  SharedArray<std::uint32_t> array_b;  ///< Keys (pong).
+  /// Per-processor digit histograms, node-local pages.
+  std::vector<SharedArray<std::uint32_t>> hist;
+  /// offsets[d * P + p]: first destination slot for processor p's keys
+  /// with digit d (written by processor 0 in the prefix phase).
+  SharedArray<std::uint32_t> offsets;
+  std::unique_ptr<Barrier> barrier;
+};
+
+SimTask<void> radix_program(System& sys, std::shared_ptr<RadixContext> ctx,
+                            NodeId id) {
+  Processor& proc = sys.proc(id);
+  const int nprocs = sys.num_procs();
+  const RadixParams& p = ctx->params;
+  const int radix = ctx->radix;
+  const int keys = p.keys;
+  const int first = static_cast<int>(
+      static_cast<std::int64_t>(keys) * id / nprocs);
+  const int last = static_cast<int>(
+      static_cast<std::int64_t>(keys) * (id + 1) / nprocs);
+
+  // Seed this processor's key range.
+  for (int i = first; i < last; ++i) {
+    const std::uint64_t key =
+        proc.rng().next_below(std::uint64_t{1} << p.key_bits);
+    co_await proc.write(ctx->array_a.addr(static_cast<std::uint64_t>(i)),
+                        key);
+  }
+  co_await ctx->barrier->wait(proc);
+
+  for (int pass = 0; pass < ctx->passes; ++pass) {
+    const SharedArray<std::uint32_t>& src =
+        (pass % 2 == 0) ? ctx->array_a : ctx->array_b;
+    const SharedArray<std::uint32_t>& dst =
+        (pass % 2 == 0) ? ctx->array_b : ctx->array_a;
+    const int shift = pass * p.radix_bits;
+
+    // Phase 1: local histogram (private counters, read-modify-write).
+    SharedArray<std::uint32_t>& my_hist = ctx->hist[id];
+    for (int d = 0; d < radix; ++d) {
+      co_await proc.write(my_hist.addr(static_cast<std::uint64_t>(d)), 0);
+    }
+    for (int i = first; i < last; ++i) {
+      const std::uint64_t key =
+          co_await proc.read(src.addr(static_cast<std::uint64_t>(i)));
+      const int digit = static_cast<int>((key >> shift) & (radix - 1));
+      const Addr counter = my_hist.addr(static_cast<std::uint64_t>(digit));
+      const std::uint64_t count = co_await proc.read(counter);
+      proc.compute(p.compute_per_key);
+      co_await proc.write(counter, count + 1);
+    }
+    co_await ctx->barrier->wait(proc);
+
+    // Phase 2: processor 0 turns the histograms into global offsets.
+    if (id == 0) {
+      std::uint32_t running = 0;
+      for (int d = 0; d < radix; ++d) {
+        for (int q = 0; q < nprocs; ++q) {
+          co_await proc.write(
+              ctx->offsets.addr(static_cast<std::uint64_t>(d) * nprocs + q),
+              running);
+          running += static_cast<std::uint32_t>(co_await proc.read(
+              ctx->hist[q].addr(static_cast<std::uint64_t>(d))));
+          proc.compute(2);
+        }
+      }
+    }
+    co_await ctx->barrier->wait(proc);
+
+    // Phase 3: permutation. Cursors live in host "registers" after one
+    // simulated read each; destination writes are lone writes to
+    // scattered (often remote) blocks.
+    std::vector<std::int64_t> cursor(static_cast<std::size_t>(radix), -1);
+    for (int i = first; i < last; ++i) {
+      const std::uint64_t key =
+          co_await proc.read(src.addr(static_cast<std::uint64_t>(i)));
+      const int digit = static_cast<int>((key >> shift) & (radix - 1));
+      auto& cur = cursor[static_cast<std::size_t>(digit)];
+      if (cur < 0) {
+        cur = static_cast<std::int64_t>(co_await proc.read(ctx->offsets.addr(
+            static_cast<std::uint64_t>(digit) * nprocs + id)));
+      }
+      proc.compute(p.compute_per_key);
+      co_await proc.write(dst.addr(static_cast<std::uint64_t>(cur)), key);
+      ++cur;
+    }
+    co_await ctx->barrier->wait(proc);
+  }
+}
+
+}  // namespace
+
+void build_radix(System& sys, const RadixParams& params) {
+  auto ctx = std::make_shared<RadixContext>();
+  ctx->params = params;
+  ctx->radix = 1 << params.radix_bits;
+  ctx->passes = (params.key_bits + params.radix_bits - 1) /
+                params.radix_bits;
+
+  SharedHeap& heap = sys.heap();
+  ctx->array_a = SharedArray<std::uint32_t>(
+      heap, static_cast<std::uint64_t>(params.keys), 16);
+  ctx->array_b = SharedArray<std::uint32_t>(
+      heap, static_cast<std::uint64_t>(params.keys), 16);
+  for (int n = 0; n < sys.num_procs(); ++n) {
+    ctx->hist.push_back(SharedArray<std::uint32_t>::on_node(
+        heap, static_cast<NodeId>(n),
+        static_cast<std::uint64_t>(ctx->radix), 16));
+  }
+  ctx->offsets = SharedArray<std::uint32_t>(
+      heap,
+      static_cast<std::uint64_t>(ctx->radix) * sys.num_procs(), 16);
+  ctx->barrier = std::make_unique<Barrier>(heap, sys.num_procs());
+
+  for (int n = 0; n < sys.num_procs(); ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              radix_program(sys, ctx, static_cast<NodeId>(n)));
+  }
+  sys.retain(ctx);
+}
+
+Addr radix_result_base(const RadixParams& params) {
+  const int passes = (params.key_bits + params.radix_bits - 1) /
+                     params.radix_bits;
+  const Addr base = Addr{1} << 40;  // First global heap allocation (A).
+  if (passes % 2 == 0) {
+    return base;  // Even number of swaps: result back in A.
+  }
+  const Addr a_bytes = static_cast<Addr>(params.keys) * 4;
+  return base + ((a_bytes + 15) & ~Addr{15});  // B follows A, 16-aligned.
+}
+
+}  // namespace lssim

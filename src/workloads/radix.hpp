@@ -1,0 +1,42 @@
+// Radix sort (SPLASH-2-style, extension workload).
+//
+// Not part of the paper's evaluation — included as a *negative control*:
+// radix's permutation phase is dominated by scattered writes to
+// locations the writer never read (lone writes), which are not
+// load-store sequences, so neither LS nor AD should find much to
+// eliminate here. A technique that "wins" on radix is over-claiming.
+//
+// Structure per digit pass (keys move between two arrays):
+//   1. local histogram   — each processor counts its keys' digits in its
+//                          own counter block (private RMWs);
+//   2. global prefix sum — processors combine histograms under a lock
+//                          (migratory);
+//   3. permutation       — each processor copies its keys to their
+//                          destination slots (reads its source range,
+//                          lone-writes scattered destinations).
+#pragma once
+
+#include <cstdint>
+
+#include "machine/system.hpp"
+
+namespace lssim {
+
+struct RadixParams {
+  int keys = 32768;
+  int radix_bits = 8;   ///< Digit width; passes = key_bits / radix_bits.
+  int key_bits = 16;    ///< Sorted key width.
+  std::uint64_t seed = 23;
+  Cycles compute_per_key = 4;
+};
+
+/// Allocates the key arrays and histograms on `sys` and spawns one
+/// program per processor. After System::run() the sorted keys are in the
+/// array reported by radix_result_base() (tests verify sortedness).
+void build_radix(System& sys, const RadixParams& params);
+
+/// Simulated address of the array holding the final sorted keys, given
+/// the same params used to build (valid after the run).
+[[nodiscard]] Addr radix_result_base(const RadixParams& params);
+
+}  // namespace lssim

@@ -1,0 +1,113 @@
+#include "workloads/stencil.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "mem/shared_heap.hpp"
+#include "sync/barrier.hpp"
+#include "sync/spinlock.hpp"
+
+namespace lssim {
+namespace {
+
+struct StencilContext {
+  StencilParams params;
+  SharedArray<std::uint64_t> grid;       ///< width*height doubles.
+  SharedArray<std::uint64_t> residuals;  ///< One double per sweep.
+  std::unique_ptr<SpinLock> residual_lock;
+  std::unique_ptr<Barrier> barrier;
+
+  [[nodiscard]] Addr at(int x, int y) const {
+    return grid.addr(static_cast<std::uint64_t>(y) * params.width + x);
+  }
+};
+
+SimTask<void> stencil_program(System& sys,
+                              std::shared_ptr<StencilContext> ctx,
+                              NodeId id) {
+  Processor& proc = sys.proc(id);
+  const int nprocs = sys.num_procs();
+  const StencilParams& p = ctx->params;
+  const int first_row = 1 + (p.height - 2) * id / nprocs;
+  const int last_row = 1 + (p.height - 2) * (id + 1) / nprocs;
+
+  // Initialise the owned rows (plus the global boundary rows at the
+  // first/last band): hot left edge, cold elsewhere.
+  for (int y = (id == 0 ? 0 : first_row);
+       y < (id == nprocs - 1 ? p.height : last_row); ++y) {
+    for (int x = 0; x < p.width; ++x) {
+      const double value = (x == 0) ? 100.0 : 0.0;
+      co_await proc.write(ctx->at(x, y), to_bits(value), 8);
+    }
+  }
+  co_await ctx->barrier->wait(proc);
+
+  for (int sweep = 0; sweep < p.sweeps; ++sweep) {
+    double local_residual = 0.0;
+    for (int colour = 0; colour < 2; ++colour) {
+      for (int y = first_row; y < last_row; ++y) {
+        for (int x = 1 + ((y + colour) & 1); x < p.width - 1; x += 2) {
+          const double up =
+              from_bits(co_await proc.read(ctx->at(x, y - 1), 8));
+          const double down =
+              from_bits(co_await proc.read(ctx->at(x, y + 1), 8));
+          const double left =
+              from_bits(co_await proc.read(ctx->at(x - 1, y), 8));
+          const double right =
+              from_bits(co_await proc.read(ctx->at(x + 1, y), 8));
+          // In-place read-modify-write: the load-store sequence.
+          const double old =
+              from_bits(co_await proc.read(ctx->at(x, y), 8));
+          proc.compute(p.compute_per_cell);
+          const double next = 0.25 * (up + down + left + right);
+          local_residual += std::fabs(next - old);
+          co_await proc.write(ctx->at(x, y), to_bits(next), 8);
+        }
+      }
+      co_await ctx->barrier->wait(proc);
+    }
+    // Fold the band's residual into the sweep's global accumulator.
+    co_await ctx->residual_lock->acquire(proc);
+    const Addr slot =
+        ctx->residuals.addr(static_cast<std::uint64_t>(sweep));
+    const double sum = from_bits(co_await proc.read(slot, 8));
+    co_await proc.write(slot, to_bits(sum + local_residual), 8);
+    co_await ctx->residual_lock->release(proc);
+    co_await ctx->barrier->wait(proc);
+  }
+}
+
+}  // namespace
+
+void build_stencil(System& sys, const StencilParams& params) {
+  auto ctx = std::make_shared<StencilContext>();
+  ctx->params = params;
+  ctx->grid = SharedArray<std::uint64_t>(
+      sys.heap(),
+      static_cast<std::uint64_t>(params.width) * params.height, 16);
+  ctx->residuals = SharedArray<std::uint64_t>(
+      sys.heap(), static_cast<std::uint64_t>(params.sweeps), 16);
+  ctx->residual_lock = std::make_unique<SpinLock>(sys.heap());
+  ctx->barrier = std::make_unique<Barrier>(sys.heap(), sys.num_procs());
+
+  for (int n = 0; n < sys.num_procs(); ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              stencil_program(sys, ctx, static_cast<NodeId>(n)));
+  }
+  sys.retain(ctx);
+}
+
+Addr stencil_residual_base(const StencilParams& params) {
+  const Addr base = Addr{1} << 40;
+  const Addr grid_bytes =
+      ((static_cast<Addr>(params.width) * params.height * 8) + 15) &
+      ~Addr{15};
+  return base + grid_bytes;
+}
+
+Addr stencil_cell_addr(const StencilParams& params, int x, int y) {
+  return (Addr{1} << 40) +
+         (static_cast<Addr>(y) * params.width + x) * 8;
+}
+
+}  // namespace lssim

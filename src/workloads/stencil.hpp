@@ -1,0 +1,41 @@
+// Red-black Gauss-Seidel grid relaxation (Ocean-style stencil,
+// extension workload).
+//
+// Each processor owns a horizontal band of one 2D grid and relaxes it
+// in place: a red phase updates cells with (x+y) even from their (all
+// black) neighbours, a barrier, then the black phase, another barrier.
+// In-place updates make every cell a read-modify-write — with a grid
+// larger than L2 the interior becomes replacement-broken load-store
+// sequences by a single owner (LS's target, invisible to migratory
+// detection), while band-boundary rows add producer-consumer sharing
+// and the convergence norm a migratory lock-protected accumulator.
+//
+// The computation is a real solver: tests assert the residual decreases
+// and that heat diffuses from the hot edge.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/system.hpp"
+
+namespace lssim {
+
+struct StencilParams {
+  int width = 128;
+  int height = 128;
+  int sweeps = 12;  ///< One sweep = red phase + black phase.
+  Cycles compute_per_cell = 8;
+  std::uint64_t seed = 5;
+};
+
+/// Allocates the grid on `sys` and spawns one program per processor.
+void build_stencil(System& sys, const StencilParams& params);
+
+/// Simulated address of the per-sweep residual array (sweeps doubles).
+[[nodiscard]] Addr stencil_residual_base(const StencilParams& params);
+
+/// Simulated address of grid cell (x, y).
+[[nodiscard]] Addr stencil_cell_addr(const StencilParams& params, int x,
+                                     int y);
+
+}  // namespace lssim

@@ -1,0 +1,67 @@
+#include "core/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lssim {
+namespace {
+
+TEST(Directory, EntriesStartUncachedUntagged) {
+  Directory dir;
+  const DirEntry& e = dir.entry(0x100);
+  EXPECT_EQ(e.state, DirState::kUncached);
+  EXPECT_FALSE(e.tagged);
+  EXPECT_EQ(e.owner, kInvalidNode);
+  EXPECT_EQ(e.last_reader, kInvalidNode);
+  EXPECT_EQ(e.last_writer, kInvalidNode);
+  EXPECT_EQ(e.sharer_count(), 0);
+}
+
+TEST(Directory, DefaultTaggedVariation) {
+  Directory dir(/*default_tagged=*/true);
+  EXPECT_TRUE(dir.entry(0x100).tagged);
+}
+
+TEST(Directory, EntryPersists) {
+  Directory dir;
+  dir.entry(0x40).tagged = true;
+  EXPECT_TRUE(dir.entry(0x40).tagged);
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(Directory, FindDoesNotCreate) {
+  Directory dir;
+  EXPECT_EQ(dir.find(0x40), nullptr);
+  EXPECT_EQ(dir.size(), 0u);
+  (void)dir.entry(0x40);
+  EXPECT_NE(dir.find(0x40), nullptr);
+}
+
+TEST(DirEntry, SharerBitmapOperations) {
+  DirEntry e;
+  e.add_sharer(0);
+  e.add_sharer(5);
+  e.add_sharer(63);
+  EXPECT_EQ(e.sharer_count(), 3);
+  EXPECT_TRUE(e.is_sharer(0));
+  EXPECT_TRUE(e.is_sharer(5));
+  EXPECT_TRUE(e.is_sharer(63));
+  EXPECT_FALSE(e.is_sharer(1));
+  e.remove_sharer(5);
+  EXPECT_EQ(e.sharer_count(), 2);
+  EXPECT_FALSE(e.is_sharer(5));
+  e.add_sharer(0);  // Idempotent.
+  EXPECT_EQ(e.sharer_count(), 2);
+}
+
+TEST(Directory, ForEachVisitsAllEntries) {
+  Directory dir;
+  (void)dir.entry(0x10);
+  (void)dir.entry(0x20);
+  (void)dir.entry(0x30);
+  int count = 0;
+  dir.for_each([&](Addr, const DirEntry&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,108 @@
+// Protocol event log: ring semantics and hook coverage.
+#include "core/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "protocol_test_util.hpp"
+
+namespace lssim {
+namespace {
+
+TEST(EventLog, DisabledByDefault) {
+  EventLog log;
+  EXPECT_FALSE(log.enabled());
+  log.record(1, ProtoEventKind::kTag, 0, 0, DirState::kShared, true);
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, RetainsInOrder) {
+  EventLog log(8);
+  for (int i = 0; i < 5; ++i) {
+    log.record(static_cast<Cycles>(i), ProtoEventKind::kReadMiss,
+               static_cast<Addr>(i * 16), 0, DirState::kShared, false);
+  }
+  std::vector<Cycles> times;
+  log.for_each([&](const ProtocolEvent& e) { times.push_back(e.time); });
+  EXPECT_EQ(times, (std::vector<Cycles>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLog, RingDropsOldest) {
+  EventLog log(3);
+  for (int i = 0; i < 7; ++i) {
+    log.record(static_cast<Cycles>(i), ProtoEventKind::kUpgrade, 0, 0,
+               DirState::kDirty, false);
+  }
+  EXPECT_EQ(log.total(), 7u);
+  EXPECT_EQ(log.size(), 3u);
+  std::vector<Cycles> times;
+  log.for_each([&](const ProtocolEvent& e) { times.push_back(e.time); });
+  EXPECT_EQ(times, (std::vector<Cycles>{4, 5, 6}));
+}
+
+TEST(EventLog, DumpFormatsLines) {
+  EventLog log(4);
+  log.record(12340, ProtoEventKind::kUpgrade, 0x40, 1, DirState::kDirty,
+             true);
+  std::ostringstream os;
+  log.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("@12340"), std::string::npos);
+  EXPECT_NE(out.find("P1"), std::string::npos);
+  EXPECT_NE(out.find("upgrade"), std::string::npos);
+  EXPECT_NE(out.find("[tagged]"), std::string::npos);
+}
+
+TEST(EventLogIntegration, LsLifecycleEventsAppear) {
+  MachineConfig cfg = ProtocolFixture::tiny(ProtocolKind::kLs);
+  cfg.event_log_capacity = 256;
+  ProtocolFixture f(cfg);
+  const Addr a = f.on_home(0);
+  (void)f.read(1, a);    // read-miss
+  (void)f.write(1, a);   // upgrade + tag
+  (void)f.read(2, a);    // read-miss + migrate
+  (void)f.write(2, a);   // local-write
+  (void)f.read(3, a);    // read-miss + migrate
+  (void)f.read(0, a);    // read-miss + notls + detag
+
+  std::vector<ProtoEventKind> kinds;
+  f.ms().event_log().for_each(
+      [&](const ProtocolEvent& e) { kinds.push_back(e.kind); });
+
+  auto count = [&](ProtoEventKind kind) {
+    std::size_t n = 0;
+    for (auto k : kinds) {
+      if (k == kind) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(ProtoEventKind::kReadMiss), 4u);
+  EXPECT_EQ(count(ProtoEventKind::kUpgrade), 1u);
+  EXPECT_EQ(count(ProtoEventKind::kTag), 1u);
+  EXPECT_EQ(count(ProtoEventKind::kMigrate), 2u);
+  EXPECT_EQ(count(ProtoEventKind::kLocalWrite), 1u);
+  EXPECT_EQ(count(ProtoEventKind::kNotLs), 1u);
+  EXPECT_EQ(count(ProtoEventKind::kDetag), 1u);
+}
+
+TEST(EventLogIntegration, WritebackRecordedOnDirtyEviction) {
+  MachineConfig cfg = ProtocolFixture::tiny(ProtocolKind::kBaseline);
+  cfg.event_log_capacity = 64;
+  ProtocolFixture f(cfg);
+  const Addr a = f.on_home(0);
+  (void)f.write(1, a, 5);
+  f.force_eviction(1, a);
+  bool saw_writeback = false;
+  f.ms().event_log().for_each([&](const ProtocolEvent& e) {
+    if (e.kind == ProtoEventKind::kWriteback && e.block == f.block_of(a)) {
+      saw_writeback = true;
+    }
+  });
+  EXPECT_TRUE(saw_writeback);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,121 @@
+// Latency calibration against the paper's Table 1: uncontended read
+// misses cost 100 (local), 220 (2-hop clean) and 420 (4-hop read-on-
+// dirty) cycles with the default component latencies.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.hpp"
+
+namespace lssim {
+namespace {
+
+class LatencyTest : public ::testing::Test {
+ protected:
+  LatencyTest() : f_(MachineConfig::scientific_default()) {}
+  ProtocolFixture f_;
+};
+
+TEST_F(LatencyTest, L1HitCostsOneCycle) {
+  const Addr a = f_.on_home(0);
+  (void)f_.read(0, a);
+  const AccessResult hit = f_.read(0, a);
+  EXPECT_TRUE(hit.l1_hit);
+  EXPECT_EQ(hit.latency, 1u);
+}
+
+TEST_F(LatencyTest, L2HitCostsElevenCycles) {
+  const Addr a = f_.on_home(0);
+  (void)f_.read(0, a);
+  // Evict from L1 only: fill conflicting L1 sets (L1 4kB DM, 16B blocks ->
+  // 256 sets; stride 4 kB keeps the same L1 set and home node 0... use a
+  // block 4 kB * 4 away to stay on node 0 pages).
+  const Addr conflict = a + 4096ull * 4;  // Same L1 set, same home.
+  (void)f_.read(0, conflict);
+  const AccessResult hit = f_.read(0, a);
+  EXPECT_FALSE(hit.l1_hit);
+  EXPECT_TRUE(hit.l2_hit);
+  EXPECT_EQ(hit.latency, 11u);
+}
+
+TEST_F(LatencyTest, LocalCleanReadMissCosts100) {
+  const AccessResult r = f_.read(0, f_.on_home(0));
+  EXPECT_TRUE(r.global);
+  EXPECT_EQ(r.latency, 100u);  // Paper Table 1: "Local access 100".
+}
+
+TEST_F(LatencyTest, TwoHopCleanReadMissCosts220) {
+  const AccessResult r = f_.read(1, f_.on_home(0));
+  EXPECT_EQ(r.latency, 220u);  // Paper Table 1: "Home access 220".
+}
+
+TEST_F(LatencyTest, FourHopReadOnDirtyCosts420) {
+  const Addr a = f_.on_home(2);  // Home = node 2.
+  (void)f_.write(0, a);          // Node 0 becomes the dirty owner.
+  const AccessResult r = f_.read(1, a);  // Requester = node 1.
+  EXPECT_EQ(r.latency, 420u);  // Paper Table 1: "Remote access 420".
+}
+
+TEST_F(LatencyTest, ReadOnDirtyWithLocalHomeCosts300) {
+  const Addr a = f_.on_home(1);
+  (void)f_.write(0, a);                  // Owner 0, home 1.
+  const AccessResult r = f_.read(1, a);  // Requester == home.
+  EXPECT_EQ(r.latency, 300u);
+}
+
+TEST_F(LatencyTest, LocalWriteMissCosts100) {
+  const AccessResult r = f_.write(0, f_.on_home(0));
+  EXPECT_EQ(r.latency, 100u);
+}
+
+TEST_F(LatencyTest, LocalUpgradeNoSharersCosts90) {
+  const Addr a = f_.on_home(0);
+  (void)f_.read(0, a);
+  const AccessResult r = f_.write(0, a);
+  EXPECT_TRUE(r.l2_hit);
+  EXPECT_EQ(r.latency, 90u);
+}
+
+TEST_F(LatencyTest, RemoteUpgradeNoSharersCosts210) {
+  const Addr a = f_.on_home(0);
+  (void)f_.read(1, a);
+  const AccessResult r = f_.write(1, a);
+  EXPECT_EQ(r.latency, 210u);
+}
+
+TEST_F(LatencyTest, UpgradeWaitsForInvalidationAcks) {
+  const Addr a = f_.on_home(2);
+  (void)f_.read(0, a);
+  (void)f_.read(1, a);
+  // Upgrade by node 0: grant (2-hop) in parallel with inval to node 1 and
+  // ack node1 -> node0. Critical path: req->home (90 after issue), inval
+  // home->sharer (+80 +10 inval) then ack sharer->req (+80) = 300.
+  const AccessResult r = f_.write(0, a);
+  EXPECT_EQ(r.latency, 300u);
+  EXPECT_EQ(f_.stats().invalidations_sent, 1u);
+}
+
+TEST_F(LatencyTest, WriteHitOnModifiedIsLocal) {
+  const Addr a = f_.on_home(0);
+  (void)f_.write(0, a);
+  const AccessResult r = f_.write(0, a);
+  EXPECT_TRUE(r.l1_hit);
+  EXPECT_EQ(r.latency, 1u);
+}
+
+TEST_F(LatencyTest, ContentionDelaysBackToBackMisses) {
+  // Two misses from the same node to the same home within a few cycles:
+  // the second queues behind the first on the request link.
+  MachineConfig cfg = MachineConfig::scientific_default();
+  ProtocolFixture f(cfg);
+  AccessRequest req;
+  req.op = MemOpKind::kRead;
+  req.size = 4;
+  req.addr = f.on_home(1, 0);
+  const AccessResult first = f.ms().access(0, req, 1000);
+  req.addr = f.on_home(1, 64);
+  const AccessResult second = f.ms().access(0, req, 1000);
+  EXPECT_EQ(first.latency, 220u);
+  EXPECT_GT(second.latency, 220u);  // Queued behind the first request.
+}
+
+}  // namespace
+}  // namespace lssim

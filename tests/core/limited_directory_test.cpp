@@ -1,0 +1,96 @@
+// Dir_iB limited-pointer directory (extension).
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig limited_cfg(ProtocolKind kind, int pointers) {
+  MachineConfig cfg = ProtocolFixture::tiny(kind);
+  cfg.directory_scheme = DirectoryScheme::kLimitedPtr;
+  cfg.directory_pointers = static_cast<std::uint8_t>(pointers);
+  return cfg;
+}
+
+TEST(LimitedDir, NoOverflowWithinPointerBudget) {
+  ProtocolFixture f(limited_cfg(ProtocolKind::kBaseline, 2));
+  const Addr a = f.on_home(0);
+  (void)f.read(0, a);
+  (void)f.read(1, a);
+  EXPECT_FALSE(f.dir(a).ptr_overflow);
+  (void)f.write(0, a);
+  EXPECT_EQ(f.stats().messages_by_type[static_cast<int>(MsgType::kInval)],
+            1u);  // Precise: only node 1 invalidated.
+}
+
+TEST(LimitedDir, OverflowTriggersBroadcastInvalidation) {
+  ProtocolFixture f(limited_cfg(ProtocolKind::kBaseline, 2));
+  const Addr a = f.on_home(0);
+  (void)f.read(0, a);
+  (void)f.read(1, a);
+  (void)f.read(2, a);  // Third sharer: pointers overflow.
+  EXPECT_TRUE(f.dir(a).ptr_overflow);
+  (void)f.write(0, a);
+  // Broadcast: invalidations to ALL other nodes (3 on a 4-node machine),
+  // even node 3 which holds no copy.
+  EXPECT_EQ(f.stats().messages_by_type[static_cast<int>(MsgType::kInval)],
+            3u);
+  EXPECT_EQ(f.state_of(1, a), CacheState::kInvalid);
+  EXPECT_EQ(f.state_of(2, a), CacheState::kInvalid);
+  EXPECT_EQ(f.state_of(0, a), CacheState::kModified);
+  EXPECT_TRUE(f.ms().check_coherence_invariants());
+}
+
+TEST(LimitedDir, OverflowClearsOnceExclusive) {
+  ProtocolFixture f(limited_cfg(ProtocolKind::kBaseline, 1));
+  const Addr a = f.on_home(0);
+  (void)f.read(0, a);
+  (void)f.read(1, a);
+  EXPECT_TRUE(f.dir(a).ptr_overflow);
+  (void)f.write(2, a);  // Write miss: precise single owner again.
+  EXPECT_FALSE(f.dir(a).ptr_overflow);
+  (void)f.read(3, a);  // Read-on-dirty: two precise pointers.
+  EXPECT_FALSE(f.dir(a).ptr_overflow);
+}
+
+TEST(LimitedDir, OverflowBlindsAdDetection) {
+  // AD needs the precise "one other copy == last writer" evidence, which
+  // Dir_iB loses on overflow. LS's last-reader field needs no sharer
+  // list, so it keeps working — an argument the LS design gets for free.
+  ProtocolFixture f(limited_cfg(ProtocolKind::kAd, 1));
+  const Addr a = f.on_home(0);
+  (void)f.write(1, a);
+  (void)f.read(2, a);   // Owner downgrade: sharers {1, 2} > 1 pointer.
+  EXPECT_FALSE(f.dir(a).ptr_overflow);  // Dirty->Shared is precise (2)...
+  (void)f.read(3, a);   // ...but the third sharer overflows.
+  EXPECT_TRUE(f.dir(a).ptr_overflow);
+  (void)f.write(2, a);
+  EXPECT_FALSE(f.dir(a).tagged);
+}
+
+TEST(LimitedDir, LsTaggingSurvivesOverflow) {
+  ProtocolFixture f(limited_cfg(ProtocolKind::kLs, 1));
+  const Addr a = f.on_home(0);
+  (void)f.read(0, a);
+  (void)f.read(1, a);
+  (void)f.read(2, a);
+  EXPECT_TRUE(f.dir(a).ptr_overflow);
+  (void)f.write(2, a);  // Writer == LR: LS tags despite the overflow.
+  EXPECT_TRUE(f.dir(a).tagged);
+}
+
+TEST(LimitedDir, LastCopyReplacementResetsOverflow) {
+  ProtocolFixture f(limited_cfg(ProtocolKind::kBaseline, 1));
+  const Addr a = f.on_home(0);
+  (void)f.read(1, a);
+  (void)f.read(2, a);
+  EXPECT_TRUE(f.dir(a).ptr_overflow);
+  f.force_eviction(1, a);
+  f.force_eviction(2, a);
+  EXPECT_EQ(f.dir(a).state, DirState::kUncached);
+  EXPECT_FALSE(f.dir(a).ptr_overflow);
+}
+
+}  // namespace
+}  // namespace lssim

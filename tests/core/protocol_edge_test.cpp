@@ -1,0 +1,156 @@
+// Protocol edge cases: degenerate machines, node-role coincidences,
+// mixed access sizes, long tag/de-tag churn, traffic-class accounting.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.hpp"
+
+namespace lssim {
+namespace {
+
+TEST(ProtocolEdge, SingleNodeMachineNeverSendsMessages) {
+  MachineConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.l1 = CacheConfig{64, 1, 16};
+  cfg.l2 = CacheConfig{256, 1, 16};
+  cfg.protocol.kind = ProtocolKind::kLs;
+  ProtocolFixture f(cfg);
+  for (int i = 0; i < 64; ++i) {
+    (void)f.read(0, static_cast<Addr>(i) * 16);
+    (void)f.write(0, static_cast<Addr>(i) * 16, i);
+  }
+  EXPECT_EQ(f.stats().messages_total(), 0u);  // All transactions local.
+  EXPECT_GT(f.stats().global_read_misses, 0u);
+  EXPECT_TRUE(f.ms().check_coherence_invariants());
+}
+
+TEST(ProtocolEdge, HomeIsOwnerForwardingDegenerates) {
+  // Owner == home: the "4-hop" read-on-dirty loses its forward hops.
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kBaseline));
+  const Addr a = f.on_home(2);
+  (void)f.write(2, a, 9);               // Home node 2 owns its own block.
+  const AccessResult r = f.read(1, a);  // Requester remote.
+  EXPECT_EQ(r.value, 9u);
+  EXPECT_LT(r.latency, 420u);  // Cheaper than the full 4-hop case.
+  EXPECT_TRUE(f.ms().check_coherence_invariants());
+}
+
+TEST(ProtocolEdge, RequesterIsHomeWithRemoteOwner) {
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kBaseline));
+  const Addr a = f.on_home(1);
+  (void)f.write(0, a, 7);
+  const AccessResult r = f.read(1, a);  // Requester == home.
+  EXPECT_EQ(r.value, 7u);
+  EXPECT_EQ(f.state_of(0, a), CacheState::kShared);
+  EXPECT_EQ(f.state_of(1, a), CacheState::kShared);
+}
+
+TEST(ProtocolEdge, MixedAccessSizesWithinOneBlock) {
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = f.on_home(0);
+  (void)f.write(0, a, 0x1122334455667788ull, 8);
+  EXPECT_EQ(f.read(1, a, 1).value, 0x88u);
+  EXPECT_EQ(f.read(1, a + 2, 2).value, 0x5566u);
+  EXPECT_EQ(f.read(1, a + 4, 4).value, 0x11223344u);
+  (void)f.write(2, a + 6, 0xBEEF, 2);
+  EXPECT_EQ(f.read(3, a, 8).value, 0xBEEF334455667788ull);
+}
+
+TEST(ProtocolEdge, TagDetagChurnStaysConsistent) {
+  // Alternate load-store and read-shared phases on one block many times;
+  // the directory and caches must stay coherent throughout.
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = f.on_home(0);
+  for (int round = 0; round < 25; ++round) {
+    const NodeId writer = static_cast<NodeId>(round % 4);
+    (void)f.read(writer, a);
+    (void)f.write(writer, a, round);  // Tags (LR == writer).
+    // Read-shared phase: everyone reads; the first read may migrate the
+    // block exclusively, the second forces the NotLS de-tag.
+    for (NodeId n = 0; n < 4; ++n) {
+      EXPECT_EQ(f.read(n, a).value, static_cast<std::uint64_t>(round));
+    }
+    EXPECT_TRUE(f.ms().check_coherence_invariants()) << "round " << round;
+  }
+  EXPECT_GT(f.stats().blocks_detagged, 5u);
+}
+
+TEST(ProtocolEdge, TrafficClassesCoverAllMessages) {
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kLs));
+  for (int i = 0; i < 200; ++i) {
+    const Addr a = f.on_home(static_cast<NodeId>(i % 4),
+                             static_cast<Addr>((i * 48) % 1024));
+    if (i % 3 == 0) {
+      (void)f.write(static_cast<NodeId>((i + 1) % 4), a, i);
+    } else {
+      (void)f.read(static_cast<NodeId>((i + 2) % 4), a);
+    }
+  }
+  const Stats& stats = f.stats();
+  const std::uint64_t by_class = stats.messages_of_class(MsgClass::kRead) +
+                                 stats.messages_of_class(MsgClass::kWrite) +
+                                 stats.messages_of_class(MsgClass::kOther);
+  EXPECT_EQ(by_class, stats.messages_total());
+  EXPECT_GT(stats.messages_of_class(MsgClass::kRead), 0u);
+  EXPECT_GT(stats.messages_of_class(MsgClass::kWrite), 0u);
+  EXPECT_GT(stats.messages_of_class(MsgClass::kOther), 0u);
+}
+
+TEST(ProtocolEdge, SixtyFourNodeMachine) {
+  MachineConfig cfg;
+  cfg.num_nodes = 64;
+  cfg.l1 = CacheConfig{64, 1, 16};
+  cfg.l2 = CacheConfig{256, 1, 16};
+  cfg.protocol.kind = ProtocolKind::kLs;
+  ProtocolFixture f(cfg);
+  const Addr a = f.on_home(0);
+  for (NodeId n = 0; n < 64; ++n) {
+    (void)f.read(n, a);
+  }
+  EXPECT_EQ(f.dir(a).sharer_count(), 64);
+  (void)f.write(63, a, 1);
+  EXPECT_EQ(f.stats().invalidations_sent, 63u);
+  EXPECT_TRUE(f.ms().check_coherence_invariants());
+}
+
+TEST(ProtocolEdge, WriteUpgradeRaceWithTaggedBlockViaThirdParty) {
+  // Tagged block migrates exclusively; a third party's upgrade-from-
+  // shared cannot exist (no shared copies), so its write is a miss that
+  // transfers ownership.
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = f.on_home(0);
+  (void)f.read(1, a);
+  (void)f.write(1, a, 1);
+  (void)f.read(2, a);  // LStemp at 2.
+  (void)f.write(3, a, 3);
+  EXPECT_EQ(f.state_of(2, a), CacheState::kInvalid);
+  EXPECT_EQ(f.state_of(3, a), CacheState::kModified);
+  EXPECT_EQ(f.read(0, a).value, 3u);
+}
+
+TEST(ProtocolEdge, EliminatedWritePromotesInBothCacheLevels) {
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = f.on_home(0);
+  (void)f.read(1, a);
+  (void)f.write(1, a, 1);
+  (void)f.read(2, a);  // LStemp in L1+L2 of node 2.
+  (void)f.write(2, a, 2);
+  EXPECT_EQ(f.ms().cache(2).l1().find(f.block_of(a))->state,
+            CacheState::kModified);
+  EXPECT_EQ(f.ms().cache(2).l2().find(f.block_of(a))->state,
+            CacheState::kModified);
+}
+
+TEST(ProtocolEdge, RmwOnTaggedBlockCountsAsEliminated) {
+  ProtocolFixture f(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = f.on_home(0);
+  (void)f.read(1, a);
+  (void)f.write(1, a, 5);
+  (void)f.read(2, a);  // LStemp at 2.
+  const AccessResult r = f.fetch_add(2, a, 10);
+  EXPECT_EQ(r.value, 5u);
+  EXPECT_EQ(r.latency, 1u);
+  EXPECT_EQ(f.stats().eliminated_acquisitions, 1u);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,203 @@
+// Command-line driver: argument parsing and the workload factory.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+
+namespace lssim {
+namespace {
+
+bool parse(std::initializer_list<const char*> args, DriverOptions* options,
+           std::string* error) {
+  std::vector<const char*> argv{"lssim_run"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_driver_args(static_cast<int>(argv.size()), argv.data(),
+                           options, error);
+}
+
+TEST(DriverOptions, Defaults) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({}, &options, &error)) << error;
+  EXPECT_EQ(options.workload, "pingpong");
+  EXPECT_EQ(options.protocols.size(), 1u);
+  EXPECT_EQ(options.protocols[0], ProtocolKind::kBaseline);
+  EXPECT_EQ(options.format, OutputFormat::kText);
+}
+
+TEST(DriverOptions, FullCommandLine) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--workload", "OLTP", "--protocol", "ls", "--procs",
+                     "8", "--l1", "8k", "--l2", "32k", "--assoc", "2",
+                     "--block", "32", "--topology", "ring",
+                     "--consistency", "pc", "--false-sharing", "--seed",
+                     "42", "--set", "txns_per_proc=100", "--format", "csv"},
+                    &options, &error))
+      << error;
+  EXPECT_EQ(options.workload, "oltp");
+  EXPECT_EQ(options.protocols[0], ProtocolKind::kLs);
+  EXPECT_EQ(options.machine.num_nodes, 8);
+  EXPECT_EQ(options.machine.l1.size_bytes, 8u * 1024);
+  EXPECT_EQ(options.machine.l2.size_bytes, 32u * 1024);
+  EXPECT_EQ(options.machine.l1.assoc, 2u);
+  EXPECT_EQ(options.machine.l1.block_bytes, 32u);
+  EXPECT_EQ(options.machine.l2.block_bytes, 32u);
+  EXPECT_EQ(options.machine.topology, Topology::kRing);
+  EXPECT_EQ(options.machine.consistency, ConsistencyModel::kPc);
+  EXPECT_TRUE(options.machine.classify_false_sharing);
+  EXPECT_EQ(options.seed, 42u);
+  EXPECT_EQ(options.params.at("txns_per_proc"), "100");
+  EXPECT_EQ(options.format, OutputFormat::kCsv);
+}
+
+TEST(DriverOptions, CompareSelectsAllProtocols) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--compare"}, &options, &error));
+  EXPECT_EQ(options.protocols.size(), 4u);
+}
+
+TEST(DriverOptions, RejectsUnknownArgument) {
+  DriverOptions options;
+  std::string error;
+  EXPECT_FALSE(parse({"--bogus"}, &options, &error));
+  EXPECT_NE(error.find("--bogus"), std::string::npos);
+}
+
+TEST(DriverOptions, RejectsMissingValue) {
+  DriverOptions options;
+  std::string error;
+  EXPECT_FALSE(parse({"--workload"}, &options, &error));
+}
+
+TEST(DriverOptions, RejectsBadProtocol) {
+  DriverOptions options;
+  std::string error;
+  EXPECT_FALSE(parse({"--protocol", "mesif"}, &options, &error));
+}
+
+TEST(DriverOptions, RejectsMalformedSet) {
+  DriverOptions options;
+  std::string error;
+  EXPECT_FALSE(parse({"--set", "noequals"}, &options, &error));
+  EXPECT_FALSE(parse({"--set", "=value"}, &options, &error));
+}
+
+TEST(DriverOptions, ParseSizeSuffixes) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_size("512", &v));
+  EXPECT_EQ(v, 512u);
+  EXPECT_TRUE(parse_size("64k", &v));
+  EXPECT_EQ(v, 64u * 1024);
+  EXPECT_TRUE(parse_size("2M", &v));
+  EXPECT_EQ(v, 2u * 1024 * 1024);
+  EXPECT_FALSE(parse_size("", &v));
+  EXPECT_FALSE(parse_size("k", &v));
+  EXPECT_FALSE(parse_size("12x", &v));
+}
+
+TEST(DriverOptions, HelpFlag) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--help"}, &options, &error));
+  EXPECT_TRUE(options.show_help);
+  EXPECT_NE(driver_usage().find("--workload"), std::string::npos);
+}
+
+TEST(DriverRunner, KnowsAllWorkloads) {
+  for (const char* name : {"mp3d", "cholesky", "lu", "oltp", "radix",
+                           "stencil", "pingpong", "private",
+                           "readmostly"}) {
+    EXPECT_TRUE(driver_knows_workload(name)) << name;
+  }
+  EXPECT_FALSE(driver_knows_workload("barnes"));
+}
+
+TEST(DriverRunner, RunsSmallWorkload) {
+  DriverOptions options;
+  options.workload = "pingpong";
+  options.params["rounds"] = "50";
+  options.machine.l1 = CacheConfig{1024, 1, 16};
+  options.machine.l2 = CacheConfig{4096, 1, 16};
+  const RunResult r = run_driver_workload(options, ProtocolKind::kLs);
+  EXPECT_GT(r.accesses, 100u);
+  EXPECT_GT(r.eliminated_acquisitions, 0u);
+}
+
+TEST(DriverRunner, RejectsUnknownParameter) {
+  DriverOptions options;
+  options.workload = "pingpong";
+  options.params["bogus_param"] = "1";
+  EXPECT_THROW((void)run_driver_workload(options, ProtocolKind::kBaseline),
+               std::invalid_argument);
+}
+
+TEST(DriverRunner, RejectsInvalidMachine) {
+  DriverOptions options;
+  options.workload = "pingpong";
+  options.machine.l1.block_bytes = 24;  // Not a power of two.
+  options.machine.l2.block_bytes = 24;
+  EXPECT_THROW((void)run_driver_workload(options, ProtocolKind::kBaseline),
+               std::invalid_argument);
+}
+
+TEST(DriverRunner, WorkloadParametersReachTheWorkload) {
+  DriverOptions options;
+  options.workload = "pingpong";
+  options.machine.l1 = CacheConfig{1024, 1, 16};
+  options.machine.l2 = CacheConfig{4096, 1, 16};
+  options.params["rounds"] = "10";
+  const RunResult small = run_driver_workload(options,
+                                              ProtocolKind::kBaseline);
+  options.params["rounds"] = "100";
+  const RunResult big = run_driver_workload(options,
+                                            ProtocolKind::kBaseline);
+  EXPECT_GT(big.accesses, small.accesses * 5);
+}
+
+TEST(DriverOutput, CsvFormat) {
+  DriverOptions options;
+  options.format = OutputFormat::kCsv;
+  RunResult r;
+  r.protocol = ProtocolKind::kLs;
+  r.exec_time = 123;
+  std::ostringstream os;
+  print_driver_results(os, options, {r});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("protocol,exec_cycles"), std::string::npos);
+  EXPECT_NE(out.find("LS,123"), std::string::npos);
+}
+
+TEST(DriverOutput, JsonFormat) {
+  DriverOptions options;
+  options.format = OutputFormat::kJson;
+  RunResult r;
+  r.protocol = ProtocolKind::kAd;
+  r.exec_time = 7;
+  std::ostringstream os;
+  print_driver_results(os, options, {r});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"protocol\":\"AD\""), std::string::npos);
+  EXPECT_NE(out.find("\"exec_cycles\":7"), std::string::npos);
+  EXPECT_EQ(out.front(), '[');
+}
+
+TEST(DriverOutput, TextComparisonShowsNormalizedColumn) {
+  DriverOptions options;
+  options.format = OutputFormat::kText;
+  RunResult a;
+  a.protocol = ProtocolKind::kBaseline;
+  a.exec_time = 200;
+  RunResult b;
+  b.protocol = ProtocolKind::kLs;
+  b.exec_time = 100;
+  std::ostringstream os;
+  print_driver_results(os, options, {a, b});
+  EXPECT_NE(os.str().find("50.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,114 @@
+// Cross-protocol integration tests: the qualitative claims of the paper
+// must hold on every workload (LS >= AD >= Baseline on ownership
+// elimination; identical computational results; no protocol changes the
+// program's semantics).
+#include <gtest/gtest.h>
+
+#include "workloads/cholesky.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/lu.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/mp3d.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig cfg_for(ProtocolKind kind) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.l1 = CacheConfig{2 * 1024, 1, 16};
+  cfg.l2 = CacheConfig{16 * 1024, 1, 16};
+  cfg.protocol.kind = kind;
+  return cfg;
+}
+
+struct Triple {
+  RunResult base, ad, ls;
+};
+
+Triple run_all(const WorkloadBuilder& build) {
+  return Triple{
+      run_experiment(cfg_for(ProtocolKind::kBaseline), build),
+      run_experiment(cfg_for(ProtocolKind::kAd), build),
+      run_experiment(cfg_for(ProtocolKind::kLs), build),
+  };
+}
+
+void expect_paper_ordering(const Triple& t, const char* what) {
+  // LS eliminates at least as much ownership overhead as AD (it targets a
+  // super-set of AD's pattern), and both never lose to Baseline.
+  EXPECT_GE(t.ls.eliminated_acquisitions, t.ad.eliminated_acquisitions)
+      << what;
+  EXPECT_LE(t.ls.time.write_stall, t.base.time.write_stall) << what;
+  EXPECT_LE(t.ad.time.write_stall,
+            t.base.time.write_stall + t.base.time.write_stall / 20)
+      << what;
+}
+
+TEST(ProtocolComparison, Mp3d) {
+  Mp3dParams params;
+  params.particles = 1500;
+  params.steps = 4;
+  const Triple t =
+      run_all([&](System& sys) { build_mp3d(sys, params); });
+  expect_paper_ordering(t, "mp3d");
+  // MP3D is migratory-heavy: AD must also achieve real elimination (at
+  // this scaled-down cache most cell blocks are displaced between visits,
+  // so AD keeps only the still-resident share).
+  EXPECT_GT(t.ad.eliminated_acquisitions, 100u);
+  // LS reduces total execution time.
+  EXPECT_LT(t.ls.exec_time, t.base.exec_time);
+}
+
+TEST(ProtocolComparison, Cholesky4ProcsAdGetsNothing) {
+  CholeskyParams params;  // Synthetic-sparse mode (paper's tk15.0 regime).
+  params.n = 160;
+  params.bandwidth = 96;
+  // Spread the visits to a column across the whole run so the owner's
+  // cache turns over in between (the paper's replacement-broken
+  // sequences); with the default window the 16 kB L2 here retains them.
+  params.window = 160;
+  params.successors = 5;
+  const Triple t =
+      run_all([&](System& sys) { build_cholesky(sys, params); });
+  expect_paper_ordering(t, "cholesky");
+  // Paper §5.2: at 4 processors AD removes (essentially) no ownership
+  // overhead of the column data while LS removes most of it; AD's small
+  // residue here comes from the genuinely migratory task-queue and lock
+  // words.
+  EXPECT_LT(t.ad.eliminated_acquisitions,
+            t.ls.eliminated_acquisitions / 4 + 100);
+  EXPECT_LT(t.ls.time.write_stall, t.base.time.write_stall * 3 / 5);
+}
+
+TEST(ProtocolComparison, LuLsRemovesMoreThanAd) {
+  LuParams params;
+  params.n = 64;
+  const Triple t = run_all([&](System& sys) { build_lu(sys, params); });
+  expect_paper_ordering(t, "lu");
+  EXPECT_GT(t.ls.eliminated_acquisitions, t.ad.eliminated_acquisitions);
+  EXPECT_LT(t.ls.time.write_stall, t.base.time.write_stall);
+}
+
+TEST(ProtocolComparison, TrafficNeverExplodes) {
+  Mp3dParams params;
+  params.particles = 800;
+  params.steps = 3;
+  const Triple t =
+      run_all([&](System& sys) { build_mp3d(sys, params); });
+  // The techniques may add NotLS/hint traffic but total traffic must not
+  // grow materially (paper: traffic *reductions* everywhere).
+  EXPECT_LT(t.ls.traffic_total, t.base.traffic_total * 11 / 10);
+  EXPECT_LT(t.ad.traffic_total, t.base.traffic_total * 11 / 10);
+}
+
+TEST(ProtocolComparison, ReadMissInflationBounded) {
+  LuParams params;
+  params.n = 48;
+  const Triple t = run_all([&](System& sys) { build_lu(sys, params); });
+  EXPECT_LT(static_cast<double>(t.ls.global_read_misses),
+            1.4 * static_cast<double>(t.base.global_read_misses));
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,120 @@
+// Processor-consistency (write buffer) mode: §6-discussion extension.
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/mp3d.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig cfg_with(ConsistencyModel model, ProtocolKind kind) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.l1 = CacheConfig{1024, 1, 16};
+  cfg.l2 = CacheConfig{8192, 1, 16};
+  cfg.protocol.kind = kind;
+  cfg.consistency = model;
+  return cfg;
+}
+
+TEST(Consistency, PcHidesWriteStall) {
+  const RunResult sc = run_experiment(
+      cfg_with(ConsistencyModel::kSc, ProtocolKind::kBaseline),
+      [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 2});
+      });
+  const RunResult pc = run_experiment(
+      cfg_with(ConsistencyModel::kPc, ProtocolKind::kBaseline),
+      [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 2});
+      });
+  // The write buffer absorbs most store latency.
+  EXPECT_LT(pc.time.write_stall, sc.time.write_stall / 4);
+  EXPECT_LT(pc.exec_time, sc.exec_time);
+}
+
+TEST(Consistency, PcKeepsTrafficIdentical) {
+  // Paper §6: a relaxed model hides write stall but the technique's
+  // *traffic* effect is model-independent. Timing changes shift the
+  // interleaving slightly (barrier spins), so compare within 1%.
+  const RunResult sc = run_experiment(
+      cfg_with(ConsistencyModel::kSc, ProtocolKind::kLs), [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 2});
+      });
+  const RunResult pc = run_experiment(
+      cfg_with(ConsistencyModel::kPc, ProtocolKind::kLs), [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 2});
+      });
+  EXPECT_NEAR(static_cast<double>(pc.traffic_total),
+              static_cast<double>(sc.traffic_total),
+              0.01 * static_cast<double>(sc.traffic_total));
+  EXPECT_NEAR(static_cast<double>(pc.eliminated_acquisitions),
+              static_cast<double>(sc.eliminated_acquisitions),
+              0.01 * static_cast<double>(sc.eliminated_acquisitions) + 5);
+}
+
+TEST(Consistency, LsStillReducesTrafficUnderPc) {
+  const RunResult base = run_experiment(
+      cfg_with(ConsistencyModel::kPc, ProtocolKind::kBaseline),
+      [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 3});
+      });
+  const RunResult ls = run_experiment(
+      cfg_with(ConsistencyModel::kPc, ProtocolKind::kLs), [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 3});
+      });
+  EXPECT_LT(ls.traffic_total, base.traffic_total);
+  // But the execution-time win shrinks relative to SC (write stall was
+  // already hidden).
+  const RunResult sc_base = run_experiment(
+      cfg_with(ConsistencyModel::kSc, ProtocolKind::kBaseline),
+      [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 3});
+      });
+  const RunResult sc_ls = run_experiment(
+      cfg_with(ConsistencyModel::kSc, ProtocolKind::kLs), [](System& sys) {
+        build_private_rmw(sys, PrivateRmwParams{.words_per_proc = 2048,
+                                                .sweeps = 3});
+      });
+  const double sc_gain = 1.0 - static_cast<double>(sc_ls.exec_time) /
+                                   static_cast<double>(sc_base.exec_time);
+  const double pc_gain = 1.0 - static_cast<double>(ls.exec_time) /
+                                   static_cast<double>(base.exec_time);
+  EXPECT_LT(pc_gain, sc_gain);
+}
+
+TEST(Consistency, AtomicsRemainBlockingUnderPc) {
+  // Locks built on swap must still serialize correctly under PC; this
+  // re-runs the migratory token workload, whose correctness depends on
+  // the turn/counter ordering.
+  const RunResult pc = run_experiment(
+      cfg_with(ConsistencyModel::kPc, ProtocolKind::kLs), [](System& sys) {
+        build_pingpong(sys, PingPongParams{.rounds = 100, .counters = 1});
+      });
+  EXPECT_GT(pc.accesses, 800u);  // Completed all rounds.
+}
+
+TEST(Consistency, DeterministicUnderPc) {
+  auto once = [] {
+    return run_experiment(
+        cfg_with(ConsistencyModel::kPc, ProtocolKind::kAd),
+        [](System& sys) {
+          Mp3dParams params;
+          params.particles = 300;
+          params.steps = 2;
+          build_mp3d(sys, params);
+        });
+  };
+  EXPECT_EQ(once().exec_time, once().exec_time);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,72 @@
+#include "mem/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lssim {
+namespace {
+
+TEST(AddressSpace, RoundRobinHomeAssignment) {
+  AddressSpace space(4, 4096);
+  EXPECT_EQ(space.home_of(0), 0);
+  EXPECT_EQ(space.home_of(4095), 0);
+  EXPECT_EQ(space.home_of(4096), 1);
+  EXPECT_EQ(space.home_of(2 * 4096), 2);
+  EXPECT_EQ(space.home_of(3 * 4096), 3);
+  EXPECT_EQ(space.home_of(4 * 4096), 0);  // Wraps.
+}
+
+TEST(AddressSpace, SingleNodeOwnsEverything) {
+  AddressSpace space(1, 4096);
+  EXPECT_EQ(space.home_of(0), 0);
+  EXPECT_EQ(space.home_of(123456789), 0);
+}
+
+TEST(AddressSpace, UntouchedMemoryReadsZero) {
+  AddressSpace space(4, 4096);
+  EXPECT_EQ(space.load(0x1234, 8), 0u);
+  EXPECT_EQ(space.resident_pages(), 0u);
+}
+
+TEST(AddressSpace, StoreLoadRoundTrip) {
+  AddressSpace space(4, 4096);
+  space.store(0x100, 8, 0x1122334455667788ull);
+  EXPECT_EQ(space.load(0x100, 8), 0x1122334455667788ull);
+  EXPECT_EQ(space.load(0x100, 4), 0x55667788u);
+  EXPECT_EQ(space.load(0x104, 4), 0x11223344u);
+  EXPECT_EQ(space.load(0x100, 1), 0x88u);
+}
+
+TEST(AddressSpace, PartialStorePreservesNeighbours) {
+  AddressSpace space(4, 4096);
+  space.store(0x200, 8, 0xffffffffffffffffull);
+  space.store(0x202, 2, 0);
+  EXPECT_EQ(space.load(0x200, 8), 0xffffffff0000ffffull);
+}
+
+TEST(AddressSpace, PagesMaterializeLazily) {
+  AddressSpace space(4, 4096);
+  space.store(0, 4, 1);
+  EXPECT_EQ(space.resident_pages(), 1u);
+  space.store(4096, 4, 1);
+  EXPECT_EQ(space.resident_pages(), 2u);
+  space.store(8, 4, 1);  // Same first page.
+  EXPECT_EQ(space.resident_pages(), 2u);
+}
+
+TEST(AddressSpace, HighAddressesWork) {
+  AddressSpace space(4, 4096);
+  const Addr high = Addr{1} << 40;
+  space.store(high, 8, 42);
+  EXPECT_EQ(space.load(high, 8), 42u);
+}
+
+TEST(AddressSpace, DistinctPagesAreIndependent) {
+  AddressSpace space(2, 4096);
+  space.store(100, 8, 7);
+  space.store(4096 + 100, 8, 9);
+  EXPECT_EQ(space.load(100, 8), 7u);
+  EXPECT_EQ(space.load(4096 + 100, 8), 9u);
+}
+
+}  // namespace
+}  // namespace lssim

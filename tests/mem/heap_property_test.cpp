@@ -1,0 +1,100 @@
+// Property tests for the shared heap: randomized allocation sequences
+// must produce non-overlapping, correctly aligned, correctly homed
+// intervals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/shared_heap.hpp"
+#include "sim/rng.hpp"
+
+namespace lssim {
+namespace {
+
+struct Interval {
+  Addr begin;
+  Addr end;
+};
+
+TEST(HeapProperty, RandomAllocationsNeverOverlap) {
+  for (int nodes : {1, 2, 4, 8}) {
+    AddressSpace space(nodes, 4096);
+    SharedHeap heap(space);
+    Rng rng(static_cast<std::uint64_t>(nodes) * 1234567);
+    std::vector<Interval> intervals;
+
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t bytes = 1 + rng.next_below(2000);
+      const std::uint32_t align = std::uint32_t{1}
+                                  << rng.next_below(8);  // 1..128.
+      Addr base;
+      if (rng.next_bool(0.5)) {
+        base = heap.alloc(bytes, align);
+      } else {
+        const NodeId node = static_cast<NodeId>(rng.next_below(
+            static_cast<std::uint64_t>(nodes)));
+        const std::uint64_t capped = std::min<std::uint64_t>(bytes, 4096);
+        base = heap.alloc_on_node(node, capped, align);
+        EXPECT_EQ(space.home_of(base), node);
+        EXPECT_EQ(space.home_of(base + capped - 1), node);
+        intervals.push_back({base, base + capped});
+        EXPECT_EQ(base % align, 0u);
+        continue;
+      }
+      EXPECT_EQ(base % align, 0u);
+      intervals.push_back({base, base + bytes});
+    }
+
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_LE(intervals[i - 1].end, intervals[i].begin)
+          << "overlap at interval " << i << " (nodes=" << nodes << ")";
+    }
+  }
+}
+
+TEST(HeapProperty, NodeArenasInterleaveWithoutCollision) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  // Alternating node allocations must stay disjoint even as every arena
+  // spills across multiple pages.
+  std::vector<Interval> intervals;
+  for (int round = 0; round < 64; ++round) {
+    for (NodeId node = 0; node < 4; ++node) {
+      const Addr base = heap.alloc_on_node(node, 1024, 16);
+      EXPECT_EQ(space.home_of(base), node);
+      intervals.push_back({base, base + 1024});
+    }
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_LE(intervals[i - 1].end, intervals[i].begin) << i;
+  }
+}
+
+TEST(HeapProperty, StoresToEveryAllocationAreIndependent) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  Rng rng(99);
+  std::vector<Addr> slots;
+  for (int i = 0; i < 200; ++i) {
+    slots.push_back(heap.alloc(8, 8));
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    space.store(slots[i], 8, 0xA000 + i);
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(space.load(slots[i], 8), 0xA000 + i) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,95 @@
+#include "mem/shared_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_space.hpp"
+
+namespace lssim {
+namespace {
+
+TEST(SharedHeap, AllocationsDoNotOverlap) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  const Addr a = heap.alloc(64, 8);
+  const Addr b = heap.alloc(64, 8);
+  EXPECT_GE(b, a + 64);
+}
+
+TEST(SharedHeap, RespectsAlignment) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  (void)heap.alloc(3, 1);
+  const Addr a = heap.alloc(64, 64);
+  EXPECT_EQ(a % 64, 0u);
+  const Addr b = heap.alloc(8, 256);
+  EXPECT_EQ(b % 256, 0u);
+}
+
+TEST(SharedHeap, NodeLocalAllocationsLandOnRequestedNode) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  for (NodeId node = 0; node < 4; ++node) {
+    for (int i = 0; i < 10; ++i) {
+      const Addr a = heap.alloc_on_node(node, 128, 8);
+      EXPECT_EQ(space.home_of(a), node);
+      EXPECT_EQ(space.home_of(a + 127), node);
+    }
+  }
+}
+
+TEST(SharedHeap, NodeLocalArenaSpillsToNextOwnedPage) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  std::set<Addr> seen;
+  // 40 x 512B = 20 kB > one 4 kB page: must advance through pages whose
+  // home is still node 2.
+  for (int i = 0; i < 40; ++i) {
+    const Addr a = heap.alloc_on_node(2, 512, 8);
+    EXPECT_EQ(space.home_of(a), 2);
+    EXPECT_TRUE(seen.insert(a).second) << "duplicate address";
+  }
+}
+
+TEST(SharedHeap, GlobalAndNodeArenasDisjoint) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  const Addr g = heap.alloc(4096, 8);
+  const Addr n = heap.alloc_on_node(1, 4096, 8);
+  EXPECT_TRUE(g + 4096 <= n || n + 4096 <= g);
+}
+
+TEST(SharedHeap, TracksBytesAllocated) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  (void)heap.alloc(100, 8);
+  (void)heap.alloc_on_node(0, 50, 8);
+  EXPECT_EQ(heap.bytes_allocated(), 150u);
+}
+
+TEST(SharedArray, ElementAddressing) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  SharedArray<std::uint64_t> arr(heap, 100);
+  EXPECT_EQ(arr.size(), 100u);
+  EXPECT_EQ(arr.addr(1), arr.base() + 8);
+  EXPECT_EQ(arr.addr(99), arr.base() + 99 * 8);
+  EXPECT_EQ(arr.base() % 8, 0u);
+}
+
+TEST(SharedArray, OnNodePlacement) {
+  AddressSpace space(4, 4096);
+  SharedHeap heap(space);
+  const auto arr = SharedArray<std::uint32_t>::on_node(heap, 3, 64);
+  EXPECT_EQ(space.home_of(arr.base()), 3);
+}
+
+TEST(SharedArray, DoubleBitsRoundTrip) {
+  EXPECT_EQ(from_bits(to_bits(3.14159)), 3.14159);
+  EXPECT_EQ(from_bits(to_bits(-0.0)), -0.0);
+  EXPECT_EQ(from_bits(to_bits(1e300)), 1e300);
+}
+
+}  // namespace
+}  // namespace lssim

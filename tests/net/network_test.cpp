@@ -1,0 +1,89 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hpp"
+
+namespace lssim {
+namespace {
+
+LatencyConfig default_lat() { return LatencyConfig{}; }
+
+TEST(Network, UncontendedHopLatency) {
+  Stats stats(4);
+  Network net(4, default_lat(), stats);
+  EXPECT_EQ(net.send(0, 1, MsgType::kReadReq, 100), 140u);
+}
+
+TEST(Network, CountsMessagesByType) {
+  Stats stats(4);
+  Network net(4, default_lat(), stats);
+  (void)net.send(0, 1, MsgType::kReadReq, 0);
+  (void)net.send(1, 0, MsgType::kDataShared, 0);
+  (void)net.send(2, 3, MsgType::kInval, 0);
+  EXPECT_EQ(stats.messages_by_type[static_cast<int>(MsgType::kReadReq)], 1u);
+  EXPECT_EQ(stats.messages_total(), 3u);
+  EXPECT_EQ(stats.messages_of_class(MsgClass::kRead), 2u);
+  EXPECT_EQ(stats.messages_of_class(MsgClass::kWrite), 1u);
+}
+
+TEST(Network, SameLinkContends) {
+  Stats stats(4);
+  LatencyConfig lat;
+  lat.link_occupancy = 8;
+  Network net(4, lat, stats);
+  const Cycles a = net.send(0, 1, MsgType::kReadReq, 0);
+  const Cycles b = net.send(0, 1, MsgType::kReadReq, 0);
+  EXPECT_EQ(a, 40u);
+  EXPECT_EQ(b, 48u);  // Queued behind the first message's occupancy.
+  EXPECT_EQ(net.total_queueing(), 8u);
+}
+
+TEST(Network, DistinctLinksDoNotContend) {
+  Stats stats(4);
+  Network net(4, default_lat(), stats);
+  (void)net.send(0, 1, MsgType::kReadReq, 0);
+  const Cycles b = net.send(0, 2, MsgType::kReadReq, 0);
+  const Cycles c = net.send(1, 0, MsgType::kReadReq, 0);
+  EXPECT_EQ(b, 40u);  // Different destination: own link.
+  EXPECT_EQ(c, 40u);  // Reverse direction: own link.
+  EXPECT_EQ(net.total_queueing(), 0u);
+}
+
+TEST(Network, LinkFreesUpOverTime) {
+  Stats stats(4);
+  LatencyConfig lat;
+  lat.link_occupancy = 8;
+  Network net(4, lat, stats);
+  (void)net.send(0, 1, MsgType::kReadReq, 0);
+  const Cycles later = net.send(0, 1, MsgType::kReadReq, 100);
+  EXPECT_EQ(later, 140u);  // No queueing after the link went idle.
+  EXPECT_EQ(net.total_queueing(), 0u);
+}
+
+TEST(Network, BackToBackBurstQueuesLinearly) {
+  Stats stats(4);
+  LatencyConfig lat;
+  lat.link_occupancy = 8;
+  Network net(4, lat, stats);
+  Cycles arrival = 0;
+  for (int i = 0; i < 5; ++i) {
+    arrival = net.send(0, 1, MsgType::kInval, 0);
+  }
+  EXPECT_EQ(arrival, 40u + 4 * 8);
+}
+
+TEST(MsgClass, TaxonomyMatchesPaper) {
+  EXPECT_EQ(msg_class(MsgType::kReadReq), MsgClass::kRead);
+  EXPECT_EQ(msg_class(MsgType::kDataExclRead), MsgClass::kRead);
+  EXPECT_EQ(msg_class(MsgType::kSharingWb), MsgClass::kRead);
+  EXPECT_EQ(msg_class(MsgType::kOwnReq), MsgClass::kWrite);
+  EXPECT_EQ(msg_class(MsgType::kInval), MsgClass::kWrite);
+  EXPECT_EQ(msg_class(MsgType::kInvalAck), MsgClass::kWrite);
+  EXPECT_EQ(msg_class(MsgType::kNotLs), MsgClass::kOther);
+  EXPECT_EQ(msg_class(MsgType::kWritebackData), MsgClass::kOther);
+  EXPECT_EQ(msg_class(MsgType::kReplHint), MsgClass::kOther);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,99 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lssim {
+namespace {
+
+TEST(Config, ScientificDefaultMatchesPaper) {
+  const MachineConfig cfg = MachineConfig::scientific_default();
+  EXPECT_EQ(cfg.num_nodes, 4);
+  EXPECT_EQ(cfg.l1.size_bytes, 4u * 1024);
+  EXPECT_EQ(cfg.l1.assoc, 1u);
+  EXPECT_EQ(cfg.l2.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.l2.assoc, 1u);
+  EXPECT_EQ(cfg.l1.block_bytes, 16u);
+  EXPECT_EQ(cfg.l2.block_bytes, 16u);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(Config, OltpDefaultMatchesPaper) {
+  const MachineConfig cfg = MachineConfig::oltp_default(ProtocolKind::kLs);
+  EXPECT_EQ(cfg.l1.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.l1.assoc, 2u);
+  EXPECT_EQ(cfg.l2.size_bytes, 512u * 1024);
+  EXPECT_EQ(cfg.l1.block_bytes, 32u);
+  EXPECT_EQ(cfg.protocol.kind, ProtocolKind::kLs);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(Config, LatencyDefaultsMatchTable1) {
+  const LatencyConfig lat;
+  EXPECT_EQ(lat.l1_access, 1u);
+  EXPECT_EQ(lat.l2_access, 10u);
+  EXPECT_EQ(lat.controller, 20u);
+  EXPECT_EQ(lat.memory, 40u);
+  EXPECT_EQ(lat.hop, 40u);
+}
+
+TEST(Config, RejectsNonPowerOfTwoBlock) {
+  MachineConfig cfg = MachineConfig::scientific_default();
+  cfg.l1.block_bytes = 24;
+  cfg.l2.block_bytes = 24;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, RejectsMismatchedBlockSizes) {
+  MachineConfig cfg = MachineConfig::scientific_default();
+  cfg.l1.block_bytes = 16;
+  cfg.l2.block_bytes = 32;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, RejectsL1LargerThanL2) {
+  MachineConfig cfg = MachineConfig::scientific_default();
+  cfg.l1.size_bytes = 128 * 1024;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, RejectsTooManyNodes) {
+  MachineConfig cfg = MachineConfig::scientific_default();
+  cfg.num_nodes = 65;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, RejectsOversizedBlocks) {
+  MachineConfig cfg = MachineConfig::scientific_default();
+  cfg.l1.block_bytes = 512;
+  cfg.l2.block_bytes = 512;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, RejectsZeroHysteresis) {
+  MachineConfig cfg = MachineConfig::scientific_default();
+  cfg.protocol.tag_hysteresis = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Config, BlockSizeSweepValidates) {
+  for (std::uint32_t block : {16u, 32u, 64u, 128u, 256u}) {
+    MachineConfig cfg = MachineConfig::oltp_default();
+    cfg.l1.block_bytes = block;
+    cfg.l2.block_bytes = block;
+    EXPECT_TRUE(cfg.validate().empty()) << "block=" << block;
+  }
+}
+
+TEST(Config, NumSetsComputed) {
+  const CacheConfig cache{64 * 1024, 2, 32};
+  EXPECT_EQ(cache.num_sets(), 1024u);
+}
+
+TEST(Config, ProtocolKindNames) {
+  EXPECT_STREQ(to_string(ProtocolKind::kBaseline), "Baseline");
+  EXPECT_STREQ(to_string(ProtocolKind::kAd), "AD");
+  EXPECT_STREQ(to_string(ProtocolKind::kLs), "LS");
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,146 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lssim {
+namespace {
+
+SimTask<int> answer() { co_return 42; }
+
+SimTask<int> add(int a, int b) { co_return a + b; }
+
+SimTask<int> nested_sum(int depth) {
+  if (depth == 0) {
+    co_return 0;
+  }
+  const int below = co_await nested_sum(depth - 1);
+  co_return below + depth;
+}
+
+SimTask<void> record(std::vector<int>& log, int value) {
+  log.push_back(value);
+  co_return;
+}
+
+SimTask<void> sequence(std::vector<int>& log) {
+  co_await record(log, 1);
+  co_await record(log, 2);
+  const int v = co_await add(20, 22);
+  log.push_back(v);
+}
+
+TEST(SimTask, LazyStart) {
+  std::vector<int> log;
+  SimTask<void> task = record(log, 7);
+  EXPECT_TRUE(log.empty());  // Not started until resumed/awaited.
+  task.resume();
+  EXPECT_EQ(log, std::vector<int>({7}));
+  EXPECT_TRUE(task.done());
+}
+
+TEST(SimTask, ValueTask) {
+  SimTask<int> task = answer();
+  task.resume();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(task.value(), 42);
+}
+
+TEST(SimTask, NestedAwaitChainsContinuations) {
+  std::vector<int> log;
+  SimTask<void> task = sequence(log);
+  task.resume();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(log, std::vector<int>({1, 2, 42}));
+}
+
+TEST(SimTask, DeepRecursionViaSymmetricTransfer) {
+  // 10k nested co_awaits must not overflow the host stack.
+  SimTask<int> task = nested_sum(10000);
+  task.resume();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(task.value(), 10000 * 10001 / 2);
+}
+
+TEST(SimTask, MoveTransfersOwnership) {
+  SimTask<int> a = answer();
+  SimTask<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.resume();
+  EXPECT_EQ(b.value(), 42);
+}
+
+TEST(SimTask, DefaultConstructedIsDone) {
+  SimTask<void> task;
+  EXPECT_FALSE(task.valid());
+  EXPECT_TRUE(task.done());
+}
+
+TEST(SimTask, DestroyWithoutRunningDoesNotLeak) {
+  // Destroying a never-started coroutine must free its frame (checked by
+  // ASAN builds; here we just exercise the path).
+  { SimTask<int> task = answer(); }
+  SUCCEED();
+}
+
+struct SuspendingAwaiter {
+  bool* flagged;
+  std::coroutine_handle<>* out;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) noexcept {
+    *flagged = true;
+    *out = h;
+  }
+  int await_resume() const noexcept { return 5; }
+};
+
+SimTask<void> waits_outside(bool* flagged, std::coroutine_handle<>* out,
+                            int* result) {
+  *result = co_await SuspendingAwaiter{flagged, out};
+}
+
+TEST(SimTask, ExternalAwaiterSuspendAndResume) {
+  bool flagged = false;
+  std::coroutine_handle<> handle;
+  int result = 0;
+  SimTask<void> task = waits_outside(&flagged, &handle, &result);
+  task.resume();
+  EXPECT_TRUE(flagged);
+  EXPECT_FALSE(task.done());
+  handle.resume();  // Scheduler-style external resumption.
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(result, 5);
+}
+
+SimTask<void> outer_with_inner_suspend(bool* flagged,
+                                       std::coroutine_handle<>* out,
+                                       std::vector<int>& log) {
+  log.push_back(1);
+  int v = 0;
+  {
+    // The inner coroutine suspends on the external awaiter; resuming the
+    // stored handle must propagate completion through the continuation
+    // chain back into this coroutine.
+    SimTask<void> inner = waits_outside(flagged, out, &v);
+    co_await inner;
+  }
+  log.push_back(v);
+}
+
+TEST(SimTask, SuspensionInsideNestedTaskResumesChain) {
+  bool flagged = false;
+  std::coroutine_handle<> handle;
+  std::vector<int> log;
+  SimTask<void> task = outer_with_inner_suspend(&flagged, &handle, log);
+  task.resume();
+  EXPECT_EQ(log, std::vector<int>({1}));
+  EXPECT_FALSE(task.done());
+  handle.resume();
+  EXPECT_TRUE(task.done());
+  EXPECT_EQ(log, std::vector<int>({1, 5}));
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,267 @@
+// Synchronization primitives over simulated memory: mutual exclusion,
+// barrier semantics, queue FIFO order — all under the real scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/system.hpp"
+#include "mem/shared_heap.hpp"
+#include "sync/barrier.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/task_queue.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig tiny_cfg(ProtocolKind kind = ProtocolKind::kBaseline) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.l1 = CacheConfig{64, 1, 16};
+  cfg.l2 = CacheConfig{256, 1, 16};
+  cfg.protocol.kind = kind;
+  return cfg;
+}
+
+SimTask<void> locked_increment(System& sys, NodeId id, SpinLock& lock,
+                               Addr counter, int rounds) {
+  Processor& proc = sys.proc(id);
+  for (int i = 0; i < rounds; ++i) {
+    co_await lock.acquire(proc);
+    // Unlocked read-modify-write: only correct under mutual exclusion.
+    const std::uint64_t v = co_await proc.read(counter, 8);
+    proc.compute(30);  // Widen the race window.
+    co_await proc.write(counter, v + 1, 8);
+    co_await lock.release(proc);
+  }
+}
+
+TEST(SpinLock, MutualExclusionUnderContention) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs}) {
+    System sys(tiny_cfg(kind));
+    auto lock = std::make_shared<SpinLock>(sys.heap());
+    const Addr counter = sys.heap().alloc(8, 8);
+    for (int n = 0; n < 4; ++n) {
+      sys.spawn(static_cast<NodeId>(n),
+                locked_increment(sys, static_cast<NodeId>(n), *lock,
+                                 counter, 50));
+    }
+    sys.retain(lock);
+    sys.run();
+    EXPECT_EQ(sys.space().load(counter, 8), 200u)
+        << "protocol=" << to_string(kind);
+  }
+}
+
+SimTask<void> try_once(System& sys, NodeId id, SpinLock& lock, Addr out) {
+  Processor& proc = sys.proc(id);
+  const bool got = co_await lock.try_acquire(proc);
+  if (got) {
+    (void)co_await proc.fetch_add(out, 1, 8);
+    // Deliberately never released: later try_acquire must fail.
+  }
+}
+
+TEST(SpinLock, TryAcquireFailsWhenHeld) {
+  System sys(tiny_cfg());
+  auto lock = std::make_shared<SpinLock>(sys.heap());
+  const Addr holders = sys.heap().alloc(8, 8);
+  for (int n = 0; n < 4; ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              try_once(sys, static_cast<NodeId>(n), *lock, holders));
+  }
+  sys.retain(lock);
+  sys.run();
+  EXPECT_EQ(sys.space().load(holders, 8), 1u);
+}
+
+SimTask<void> ticket_increment(System& sys, NodeId id, TicketLock& lock,
+                               Addr counter, int rounds) {
+  Processor& proc = sys.proc(id);
+  for (int i = 0; i < rounds; ++i) {
+    co_await lock.acquire(proc);
+    const std::uint64_t v = co_await proc.read(counter, 8);
+    proc.compute(25);
+    co_await proc.write(counter, v + 1, 8);
+    co_await lock.release(proc);
+  }
+}
+
+TEST(TicketLock, MutualExclusionUnderContention) {
+  System sys(tiny_cfg(ProtocolKind::kLs));
+  auto lock = std::make_shared<TicketLock>(sys.heap());
+  const Addr counter = sys.heap().alloc(8, 8);
+  for (int n = 0; n < 4; ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              ticket_increment(sys, static_cast<NodeId>(n), *lock, counter,
+                               40));
+  }
+  sys.retain(lock);
+  sys.run();
+  EXPECT_EQ(sys.space().load(counter, 8), 160u);
+}
+
+struct BarrierLog {
+  std::vector<int> order;
+};
+
+SimTask<void> barrier_phases(System& sys, NodeId id, Barrier& barrier,
+                             Addr phase_counts, int phases) {
+  Processor& proc = sys.proc(id);
+  for (int p = 0; p < phases; ++p) {
+    // Record arrival in this phase's slot, then wait.
+    (void)co_await proc.fetch_add(phase_counts + 8ull * p, 1, 8);
+    co_await barrier.wait(proc);
+    // After the barrier, the phase slot must show all participants.
+  }
+}
+
+TEST(Barrier, AllArriveBeforeAnyProceeds) {
+  System sys(tiny_cfg());
+  auto barrier = std::make_shared<Barrier>(sys.heap(), 4);
+  const int phases = 5;
+  const Addr counts = sys.heap().alloc(8 * phases, 8);
+
+  // Checker program: after each barrier, verify everyone arrived.
+  auto checker = [](System& s, Barrier& b, Addr slots,
+                    int nphases) -> SimTask<void> {
+    Processor& proc = s.proc(0);
+    for (int p = 0; p < nphases; ++p) {
+      (void)co_await proc.fetch_add(slots + 8ull * p, 1, 8);
+      co_await b.wait(proc);
+      const std::uint64_t arrived = co_await proc.read(slots + 8ull * p, 8);
+      EXPECT_EQ(arrived, 4u) << "phase " << p;
+    }
+  };
+  sys.spawn(0, checker(sys, *barrier, counts, phases));
+  for (int n = 1; n < 4; ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              barrier_phases(sys, static_cast<NodeId>(n), *barrier, counts,
+                             phases));
+  }
+  sys.retain(barrier);
+  sys.run();
+}
+
+SimTask<void> producer(System& sys, NodeId id, TaskQueue& queue, int count) {
+  Processor& proc = sys.proc(id);
+  for (int i = 0; i < count; ++i) {
+    for (;;) {
+      const bool pushed =
+          co_await queue.push(proc, static_cast<std::uint32_t>(i));
+      if (pushed) break;
+      proc.compute(50);
+    }
+  }
+}
+
+SimTask<void> consumer(System& sys, NodeId id, TaskQueue& queue, int count,
+                       std::vector<std::uint32_t>& got) {
+  Processor& proc = sys.proc(id);
+  int received = 0;
+  while (received < count) {
+    const std::int64_t item = co_await queue.pop(proc);
+    if (item < 0) {
+      proc.compute(50);
+      continue;
+    }
+    got.push_back(static_cast<std::uint32_t>(item));
+    ++received;
+  }
+}
+
+TEST(TaskQueue, FifoSingleProducerSingleConsumer) {
+  System sys(tiny_cfg());
+  auto queue = std::make_shared<TaskQueue>(sys.heap(), 16);
+  auto got = std::make_shared<std::vector<std::uint32_t>>();
+  sys.spawn(0, producer(sys, 0, *queue, 100));
+  sys.spawn(1, consumer(sys, 1, *queue, 100, *got));
+  sys.retain(queue);
+  sys.retain(got);
+  sys.run();
+  ASSERT_EQ(got->size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ((*got)[i], i);
+  }
+}
+
+TEST(TaskQueue, PopOnEmptyReturnsMinusOne) {
+  System sys(tiny_cfg());
+  auto queue = std::make_shared<TaskQueue>(sys.heap(), 4);
+  auto result = std::make_shared<std::int64_t>(0);
+  sys.spawn(0, [](System& s, TaskQueue& q,
+                  std::int64_t* out) -> SimTask<void> {
+    *out = co_await q.pop(s.proc(0));
+  }(sys, *queue, result.get()));
+  sys.retain(queue);
+  sys.retain(result);
+  sys.run();
+  EXPECT_EQ(*result, -1);
+}
+
+TEST(TaskQueue, PushFailsWhenFull) {
+  System sys(tiny_cfg());
+  auto queue = std::make_shared<TaskQueue>(sys.heap(), 2);
+  auto oks = std::make_shared<std::vector<bool>>();
+  sys.spawn(0, [](System& s, TaskQueue& q,
+                  std::vector<bool>* out) -> SimTask<void> {
+    Processor& proc = s.proc(0);
+    out->push_back(co_await q.push(proc, 1));
+    out->push_back(co_await q.push(proc, 2));
+    out->push_back(co_await q.push(proc, 3));
+  }(sys, *queue, oks.get()));
+  sys.retain(queue);
+  sys.retain(oks);
+  sys.run();
+  ASSERT_EQ(oks->size(), 3u);
+  EXPECT_TRUE((*oks)[0]);
+  EXPECT_TRUE((*oks)[1]);
+  EXPECT_FALSE((*oks)[2]);
+}
+
+TEST(TaskQueue, MultiConsumerDrainsExactlyOnce) {
+  System sys(tiny_cfg(ProtocolKind::kLs));
+  auto queue = std::make_shared<TaskQueue>(sys.heap(), 256);
+  const Addr sum = sys.heap().alloc(8, 8);
+
+  auto producer_then_consume = [](System& s, TaskQueue& q,
+                                  Addr total) -> SimTask<void> {
+    Processor& proc = s.proc(0);
+    for (int i = 1; i <= 200; ++i) {
+      (void)co_await q.push(proc, static_cast<std::uint32_t>(i));
+    }
+    for (;;) {
+      const std::int64_t item = co_await q.pop(proc);
+      if (item < 0) break;
+      (void)co_await proc.fetch_add(total, static_cast<std::uint64_t>(item),
+                                    8);
+    }
+  };
+  auto drainer = [](System& s, NodeId id, TaskQueue& q,
+                    Addr total) -> SimTask<void> {
+    Processor& proc = s.proc(id);
+    int empty_seen = 0;
+    while (empty_seen < 3) {
+      const std::int64_t item = co_await q.pop(proc);
+      if (item < 0) {
+        ++empty_seen;
+        proc.compute(200);
+        continue;
+      }
+      empty_seen = 0;
+      (void)co_await proc.fetch_add(total, static_cast<std::uint64_t>(item),
+                                    8);
+    }
+  };
+  sys.spawn(0, producer_then_consume(sys, *queue, sum));
+  for (int n = 1; n < 4; ++n) {
+    sys.spawn(static_cast<NodeId>(n),
+              drainer(sys, static_cast<NodeId>(n), *queue, sum));
+  }
+  sys.retain(queue);
+  sys.run();
+  EXPECT_EQ(sys.space().load(sum, 8), 200u * 201 / 2);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,118 @@
+// OLTP workload: transactional consistency (balances must reconcile) and
+// the sharing-profile diagnostics the paper reports in §5.4.
+#include "workloads/oltp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig oltp_cfg(ProtocolKind kind) {
+  MachineConfig cfg = MachineConfig::oltp_default(kind);
+  // Smaller caches keep unit-test runtimes low while preserving the
+  // capacity-miss-heavy character.
+  cfg.l1 = CacheConfig{8 * 1024, 2, 32};
+  cfg.l2 = CacheConfig{64 * 1024, 1, 32};
+  return cfg;
+}
+
+OltpParams small_params() {
+  OltpParams p;
+  p.accounts = 8192;
+  p.txns_per_proc = 300;
+  p.hot_accounts = 512;
+  return p;
+}
+
+TEST(Oltp, RunsToCompletionUnderAllProtocols) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs}) {
+    const RunResult r = run_experiment(
+        oltp_cfg(kind),
+        [&](System& sys) { build_oltp(sys, small_params()); });
+    EXPECT_GT(r.accesses, 10000u) << to_string(kind);
+    EXPECT_GT(r.exec_time, 0u);
+  }
+}
+
+TEST(Oltp, CoherenceInvariantsHoldAfterRun) {
+  System sys(oltp_cfg(ProtocolKind::kLs));
+  build_oltp(sys, small_params());
+  sys.run();
+  EXPECT_TRUE(sys.memory().check_coherence_invariants());
+}
+
+TEST(Oltp, AllStreamComponentsAppear) {
+  const RunResult r = run_experiment(
+      oltp_cfg(ProtocolKind::kBaseline),
+      [&](System& sys) { build_oltp(sys, small_params()); });
+  // Table 2's three-way split requires all components to issue global
+  // write actions.
+  EXPECT_GT(r.oracle_by_tag[static_cast<int>(StreamTag::kApp)].global_writes,
+            0u);
+  EXPECT_GT(
+      r.oracle_by_tag[static_cast<int>(StreamTag::kLibrary)].global_writes,
+      0u);
+  EXPECT_GT(r.oracle_by_tag[static_cast<int>(StreamTag::kOs)].global_writes,
+            0u);
+}
+
+TEST(Oltp, SharingProfileInPaperRegime) {
+  const RunResult r = run_experiment(
+      oltp_cfg(ProtocolKind::kBaseline),
+      [&](System& sys) { build_oltp(sys, small_params()); });
+  // Paper §5.4 / Table 2: ~42% of global writes are load-store; ~47% of
+  // those migratory; ~1.4 invalidations per global write. Accept a broad
+  // band — the tests pin the regime, EXPERIMENTS.md records the values.
+  EXPECT_GT(r.oracle_total.ls_fraction(), 0.25);
+  EXPECT_LT(r.oracle_total.ls_fraction(), 0.75);
+  EXPECT_GT(r.oracle_total.migratory_fraction(), 0.25);
+  EXPECT_LT(r.oracle_total.migratory_fraction(), 0.8);
+  // Writes hit read-shared copies regularly (the paper reports ~1.4
+  // invalidations per global write on the full-size workload; the
+  // miniaturized working set keeps reader copies alive for less time, so
+  // the ratio lands lower — see EXPERIMENTS.md).
+  EXPECT_GT(r.invalidations_per_write(), 0.35);
+}
+
+TEST(Oltp, LsBeatsAdOnWriteStall) {
+  const RunResult base = run_experiment(
+      oltp_cfg(ProtocolKind::kBaseline),
+      [&](System& sys) { build_oltp(sys, small_params()); });
+  const RunResult ad = run_experiment(
+      oltp_cfg(ProtocolKind::kAd),
+      [&](System& sys) { build_oltp(sys, small_params()); });
+  const RunResult ls = run_experiment(
+      oltp_cfg(ProtocolKind::kLs),
+      [&](System& sys) { build_oltp(sys, small_params()); });
+  EXPECT_LT(ls.time.write_stall, base.time.write_stall);
+  EXPECT_LT(ls.time.write_stall, ad.time.write_stall);
+  EXPECT_GT(ls.eliminated_acquisitions, ad.eliminated_acquisitions);
+}
+
+TEST(Oltp, Deterministic) {
+  auto once = [] {
+    return run_experiment(
+        oltp_cfg(ProtocolKind::kLs),
+        [&](System& sys) { build_oltp(sys, small_params()); });
+  };
+  const RunResult a = once();
+  const RunResult b = once();
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.traffic_total, b.traffic_total);
+}
+
+TEST(Oltp, FalseSharingClassifierFindsFalseSharing) {
+  MachineConfig cfg = oltp_cfg(ProtocolKind::kBaseline);
+  cfg.classify_false_sharing = true;
+  const RunResult r = run_experiment(
+      cfg, [&](System& sys) { build_oltp(sys, small_params()); });
+  EXPECT_GT(r.coherence_misses, 0u);
+  EXPECT_GT(r.false_sharing_misses, 0u);
+  EXPECT_LE(r.false_sharing_misses, r.coherence_misses);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,118 @@
+// Radix sort workload: correctness (sortedness + permutation) and its
+// role as a negative control for ownership-overhead techniques.
+#include "workloads/radix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "workloads/harness.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig small_cfg(ProtocolKind kind) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.l1 = CacheConfig{1024, 1, 16};
+  cfg.l2 = CacheConfig{8192, 1, 16};
+  cfg.protocol.kind = kind;
+  return cfg;
+}
+
+TEST(Radix, SortsCorrectly) {
+  RadixParams params;
+  params.keys = 2048;
+  System sys(small_cfg(ProtocolKind::kLs));
+  build_radix(sys, params);
+  sys.run();
+  const Addr base = radix_result_base(params);
+  std::uint64_t prev = 0;
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < params.keys; ++i) {
+    const std::uint64_t key =
+        sys.space().load(base + static_cast<Addr>(i) * 4, 4);
+    EXPECT_GE(key, prev) << "unsorted at index " << i;
+    prev = key;
+    histogram[key] += 1;
+  }
+  // The output must be a permutation of the input: regenerate the input
+  // multiset from the same per-processor seeds.
+  std::map<std::uint64_t, int> expected;
+  System fresh(small_cfg(ProtocolKind::kLs));
+  for (int n = 0; n < 4; ++n) {
+    Rng& rng = fresh.proc(static_cast<NodeId>(n)).rng();
+    const int first = params.keys * n / 4;
+    const int last = params.keys * (n + 1) / 4;
+    for (int i = first; i < last; ++i) {
+      expected[rng.next_below(std::uint64_t{1} << params.key_bits)] += 1;
+    }
+  }
+  EXPECT_EQ(histogram, expected);
+}
+
+TEST(Radix, SortsUnderEveryProtocol) {
+  for (ProtocolKind kind : {ProtocolKind::kBaseline, ProtocolKind::kAd,
+                            ProtocolKind::kLs, ProtocolKind::kIls}) {
+    RadixParams params;
+    params.keys = 1024;
+    System sys(small_cfg(kind));
+    build_radix(sys, params);
+    sys.run();
+    const Addr base = radix_result_base(params);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < params.keys; ++i) {
+      const std::uint64_t key =
+          sys.space().load(base + static_cast<Addr>(i) * 4, 4);
+      ASSERT_GE(key, prev) << to_string(kind) << " index " << i;
+      prev = key;
+    }
+  }
+}
+
+TEST(Radix, IsANegativeControlForLs) {
+  // Permutation writes are lone writes: LS must not find much to
+  // eliminate, and must not hurt either.
+  RadixParams params;
+  params.keys = 8192;
+  const RunResult base = run_experiment(
+      small_cfg(ProtocolKind::kBaseline),
+      [&](System& sys) { build_radix(sys, params); });
+  const RunResult ls = run_experiment(
+      small_cfg(ProtocolKind::kLs),
+      [&](System& sys) { build_radix(sys, params); });
+  // Little opportunity: eliminated acquisitions are a small fraction of
+  // global writes (histogram counters only).
+  EXPECT_LT(static_cast<double>(ls.eliminated_acquisitions),
+            0.45 * static_cast<double>(base.global_write_actions));
+  // And no material harm.
+  EXPECT_LT(static_cast<double>(ls.exec_time),
+            1.10 * static_cast<double>(base.exec_time));
+  EXPECT_LT(base.oracle_total.ls_fraction(), 0.7);
+}
+
+TEST(Radix, DeterministicAcrossRuns) {
+  auto once = [] {
+    RadixParams params;
+    params.keys = 1024;
+    return run_experiment(small_cfg(ProtocolKind::kAd), [&](System& sys) {
+      build_radix(sys, params);
+    });
+  };
+  const RunResult a = once();
+  const RunResult b = once();
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.traffic_total, b.traffic_total);
+}
+
+TEST(Radix, ResultBaseAccountsForPassParity) {
+  RadixParams two_pass;  // 16-bit keys, 8-bit digits: 2 passes -> A.
+  EXPECT_EQ(radix_result_base(two_pass), Addr{1} << 40);
+  RadixParams three_pass;
+  three_pass.key_bits = 24;  // 3 passes -> B.
+  EXPECT_GT(radix_result_base(three_pass), Addr{1} << 40);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,123 @@
+// Red-black stencil: numerical behaviour and sharing profile.
+#include "workloads/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/shared_heap.hpp"
+#include "workloads/harness.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig small_cfg(ProtocolKind kind) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.l1 = CacheConfig{1024, 1, 16};
+  cfg.l2 = CacheConfig{8192, 1, 16};
+  cfg.protocol.kind = kind;
+  return cfg;
+}
+
+std::vector<double> residuals_of(System& sys, const StencilParams& p) {
+  std::vector<double> out;
+  const Addr base = stencil_residual_base(p);
+  for (int s = 0; s < p.sweeps; ++s) {
+    out.push_back(
+        from_bits(sys.space().load(base + static_cast<Addr>(s) * 8, 8)));
+  }
+  return out;
+}
+
+TEST(Stencil, ResidualDecreases) {
+  StencilParams params;
+  params.width = 32;
+  params.height = 32;
+  params.sweeps = 10;
+  System sys(small_cfg(ProtocolKind::kLs));
+  build_stencil(sys, params);
+  sys.run();
+  const std::vector<double> residuals = residuals_of(sys, params);
+  ASSERT_EQ(residuals.size(), 10u);
+  EXPECT_GT(residuals.front(), 0.0);
+  EXPECT_LT(residuals.back(), residuals.front() / 2);
+}
+
+TEST(Stencil, HeatSpreadsFromHotEdge) {
+  StencilParams params;
+  params.width = 16;
+  params.height = 16;
+  params.sweeps = 8;
+  System sys(small_cfg(ProtocolKind::kBaseline));
+  build_stencil(sys, params);
+  sys.run();
+  const double near_edge =
+      from_bits(sys.space().load(stencil_cell_addr(params, 1, 8), 8));
+  const double far_side = from_bits(
+      sys.space().load(stencil_cell_addr(params, params.width - 2, 8), 8));
+  EXPECT_GT(near_edge, far_side);
+  EXPECT_GT(near_edge, 1.0);
+}
+
+TEST(Stencil, AllProtocolsComputeIdenticalFields) {
+  StencilParams params;
+  params.width = 16;
+  params.height = 16;
+  params.sweeps = 6;
+  std::vector<std::vector<double>> fields;
+  for (ProtocolKind kind : {ProtocolKind::kBaseline, ProtocolKind::kAd,
+                            ProtocolKind::kLs, ProtocolKind::kIls}) {
+    System sys(small_cfg(kind));
+    build_stencil(sys, params);
+    sys.run();
+    std::vector<double> flat;
+    for (int y = 0; y < params.height; ++y) {
+      for (int x = 0; x < params.width; ++x) {
+        flat.push_back(from_bits(
+            sys.space().load(stencil_cell_addr(params, x, y), 8)));
+      }
+    }
+    fields.push_back(std::move(flat));
+  }
+  EXPECT_EQ(fields[0], fields[1]);
+  EXPECT_EQ(fields[0], fields[2]);
+  EXPECT_EQ(fields[0], fields[3]);
+}
+
+TEST(Stencil, InteriorSequencesAreLsNotMigratory) {
+  StencilParams params;
+  params.width = 96;
+  params.height = 96;  // 72 kB grid >> the 8 kB L2 here.
+  params.sweeps = 4;
+  const RunResult base = run_experiment(
+      small_cfg(ProtocolKind::kBaseline),
+      [&](System& sys) { build_stencil(sys, params); });
+  // In-place cell updates: read-then-write by the same owner every sweep.
+  EXPECT_GT(base.oracle_total.ls_fraction(), 0.6);
+  EXPECT_LT(base.oracle_total.migratory_fraction(), 0.3);
+  // LS eliminates; migratory detection cannot.
+  const RunResult ls = run_experiment(
+      small_cfg(ProtocolKind::kLs),
+      [&](System& sys) { build_stencil(sys, params); });
+  const RunResult ad = run_experiment(
+      small_cfg(ProtocolKind::kAd),
+      [&](System& sys) { build_stencil(sys, params); });
+  EXPECT_GT(ls.eliminated_acquisitions,
+            4 * ad.eliminated_acquisitions + 100);
+  EXPECT_LT(ls.time.write_stall, base.time.write_stall * 3 / 4);
+}
+
+TEST(Stencil, Deterministic) {
+  auto once = [] {
+    StencilParams params;
+    params.width = 24;
+    params.height = 24;
+    params.sweeps = 4;
+    return run_experiment(small_cfg(ProtocolKind::kLs), [&](System& sys) {
+      build_stencil(sys, params);
+    });
+  };
+  EXPECT_EQ(once().exec_time, once().exec_time);
+}
+
+}  // namespace
+}  // namespace lssim

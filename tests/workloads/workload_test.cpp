@@ -1,0 +1,205 @@
+// Scientific workloads: correctness of the computations themselves (the
+// simulator executes real arithmetic over simulated memory) and basic
+// sanity of their sharing profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "workloads/cholesky.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/lu.hpp"
+#include "workloads/mp3d.hpp"
+
+namespace lssim {
+namespace {
+
+MachineConfig small_cfg(ProtocolKind kind) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.l1 = CacheConfig{1024, 1, 16};
+  cfg.l2 = CacheConfig{16 * 1024, 1, 16};
+  cfg.protocol.kind = kind;
+  return cfg;
+}
+
+TEST(Lu, FactorizationIsNumericallyCorrect) {
+  // Factor a small matrix and verify L*U == A elementwise.
+  const int n = 24;
+  MachineConfig cfg = small_cfg(ProtocolKind::kLs);
+  System sys(cfg);
+  LuParams params;
+  params.n = n;
+  build_lu(sys, params);
+
+  // Snapshot A before running: rebuild the deterministic initial matrix.
+  auto init = [&](int i, int j) {
+    return (i == j) ? 2.0 * n
+                    : 1.0 / (1.0 + static_cast<double>((i * 31 + j * 17) %
+                                                       97));
+  };
+  sys.run();
+
+  // Read back LU from simulated memory. The matrix base is the first
+  // global heap allocation; recompute addresses the same way the
+  // workload does.
+  const Addr base = (Addr{1} << 40);
+  auto elem = [&](int i, int j) {
+    return from_bits(
+        sys.space().load(base + (static_cast<Addr>(i) * n + j) * 8, 8));
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) {
+        const double l_ik = (k == i) ? 1.0 : elem(i, k);
+        const double u_kj = elem(k, j);
+        if (k < i) {
+          sum += l_ik * u_kj;
+        } else {
+          sum += u_kj;  // k == i: L_ii = 1.
+        }
+      }
+      EXPECT_NEAR(sum, init(i, j), 1e-9)
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Lu, AllProtocolsComputeIdenticalFactors) {
+  const int n = 16;
+  std::vector<std::vector<double>> factors;
+  for (ProtocolKind kind :
+       {ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs}) {
+    System sys(small_cfg(kind));
+    LuParams params;
+    params.n = n;
+    build_lu(sys, params);
+    sys.run();
+    std::vector<double> flat;
+    const Addr base = (Addr{1} << 40);
+    for (int i = 0; i < n * n; ++i) {
+      flat.push_back(
+          from_bits(sys.space().load(base + static_cast<Addr>(i) * 8, 8)));
+    }
+    factors.push_back(std::move(flat));
+  }
+  EXPECT_EQ(factors[0], factors[1]);
+  EXPECT_EQ(factors[0], factors[2]);
+}
+
+TEST(Cholesky, FactorizationSatisfiesLLT) {
+  const int n = 32;
+  const int bw = 8;
+  MachineConfig cfg = small_cfg(ProtocolKind::kLs);
+  System sys(cfg);
+  CholeskyParams params;
+  params.mode = CholeskyMode::kDenseBand;  // True factorization mode.
+  params.n = n;
+  params.bandwidth = bw;
+  build_cholesky(sys, params);
+  sys.run();
+
+  // Band storage starts at the global heap base.
+  const Addr base = (Addr{1} << 40);
+  auto l = [&](int j, int i) {  // L(i, j), i >= j, i - j < bw.
+    if (i < j || i - j >= bw) return 0.0;
+    return from_bits(sys.space().load(
+        base + (static_cast<Addr>(j) * bw + (i - j)) * 8, 8));
+  };
+  auto init = [&](int j, int i) {  // Original A(i, j).
+    if (i < j || i - j >= bw) return 0.0;
+    return (i == j) ? 2.0 * bw : 1.0 / (1.0 + i - j);
+  };
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < std::min(n, j + bw); ++i) {
+      double sum = 0;
+      for (int k = 0; k <= j; ++k) {
+        sum += l(k, i) * l(k, j);
+      }
+      EXPECT_NEAR(sum, init(j, i), 1e-9)
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Cholesky, BaselineShowsOwnershipWithoutMigration) {
+  // The paper's §5.2 signature at 4 processors: ownership acquisitions
+  // dominate; migratory accesses are rare.
+  MachineConfig cfg = small_cfg(ProtocolKind::kBaseline);
+  CholeskyParams params;
+  params.n = 120;
+  params.bandwidth = 96;
+  params.window = 120;  // Wide visit spacing -> inter-visit evictions.
+  const RunResult r = run_experiment(
+      cfg, [&](System& sys) { build_cholesky(sys, params); });
+  EXPECT_GT(r.ownership_acquisitions, 500u);
+  // Task-queue/lock words and residual stealing migrate; the column data
+  // (the bulk of the load-store sequences) does not.
+  EXPECT_LT(r.oracle_total.migratory_fraction(), 0.45);
+  EXPECT_GT(r.oracle_total.ls_fraction(), 0.4);
+}
+
+TEST(Mp3d, RunsAndConservesParticleCount) {
+  MachineConfig cfg = small_cfg(ProtocolKind::kLs);
+  System sys(cfg);
+  Mp3dParams params;
+  params.particles = 400;
+  params.steps = 3;
+  build_mp3d(sys, params);
+  sys.run();
+  // Sum of cell counts == particles * steps (every particle lands in
+  // exactly one cell each step).
+  const int cells = params.cells_x * params.cells_y * params.cells_z;
+  // Cells array follows the particle array in the global arena; easier:
+  // total updates tracked via the reservoir-independent invariant below.
+  std::uint64_t total = 0;
+  const Addr particles_bytes =
+      static_cast<Addr>(params.particles) * 4 * 8;
+  const Addr base = (Addr{1} << 40);
+  const Addr cells_base = (base + particles_bytes + 15) & ~Addr{15};
+  for (int c = 0; c < cells; ++c) {
+    total += sys.space().load(cells_base + static_cast<Addr>(c) * 16, 8);
+  }
+  // The cell-count update is an unlocked read-modify-write, exactly like
+  // the original MP3D's racy cell accounting: concurrent updates can lose
+  // an increment occasionally. Allow a sliver of loss.
+  const auto expected =
+      static_cast<std::uint64_t>(params.particles) * params.steps;
+  EXPECT_LE(total, expected);
+  EXPECT_GE(total, expected - expected / 100);
+}
+
+TEST(Mp3d, ShowsMigratorySharing) {
+  MachineConfig cfg = small_cfg(ProtocolKind::kBaseline);
+  Mp3dParams params;
+  params.particles = 800;
+  params.steps = 4;
+  const RunResult r =
+      run_experiment(cfg, [&](System& sys) { build_mp3d(sys, params); });
+  // Gupta/Weber: MP3D's *invalidations* are dominated by migratory
+  // sharing (the cell array). Particle records are load-store by the
+  // same owner every step, so of all load-store sequences only the cell
+  // share migrates — assert a solid migratory presence, not dominance.
+  EXPECT_GT(r.oracle_total.migratory_fraction(), 0.15);
+  EXPECT_GT(r.oracle_total.ls_fraction(), 0.5);
+}
+
+TEST(Workloads, DeterministicAcrossRuns) {
+  auto once = [] {
+    MachineConfig cfg = small_cfg(ProtocolKind::kLs);
+    Mp3dParams params;
+    params.particles = 300;
+    params.steps = 2;
+    return run_experiment(cfg,
+                          [&](System& sys) { build_mp3d(sys, params); });
+  };
+  const RunResult a = once();
+  const RunResult b = once();
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.traffic_total, b.traffic_total);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,42 @@
+// lssim_run — command-line driver for single simulations and protocol
+// comparisons. See --help (driver_usage in src/driver/options.hpp).
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lssim;
+
+  DriverOptions options;
+  std::string error;
+  if (!parse_driver_args(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "lssim_run: %s\n\n%s", error.c_str(),
+                 driver_usage().c_str());
+    return 2;
+  }
+  if (options.show_help) {
+    std::fputs(driver_usage().c_str(), stdout);
+    return 0;
+  }
+  if (!driver_knows_workload(options.workload)) {
+    std::fprintf(stderr, "lssim_run: unknown workload '%s'\n\n%s",
+                 options.workload.c_str(), driver_usage().c_str());
+    return 2;
+  }
+
+  try {
+    std::vector<RunResult> results;
+    results.reserve(options.protocols.size());
+    for (ProtocolKind kind : options.protocols) {
+      results.push_back(run_driver_workload(options, kind));
+    }
+    print_driver_results(std::cout, options, results);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "lssim_run: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// lssim_trace — record a workload's access trace to a file, or replay a
+// trace file against a protocol/cache configuration.
+//
+//   lssim_trace record <out.trace> [lssim_run options...]
+//   lssim_trace replay <in.trace>  [lssim_run options...]
+//
+// Recording runs the workload under the given configuration (protocol
+// included — the trace stores the access stream that execution
+// produced). Replay drives a fresh memory system with the stored stream;
+// see src/trace/trace.hpp for the timing-feedback caveats.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+#include "lssim.hpp"
+
+namespace {
+
+using namespace lssim;
+
+int record_mode(const char* path, const DriverOptions& options) {
+  MachineConfig cfg = options.machine;
+  cfg.protocol.kind = options.protocols.front();
+  System sys(cfg, options.seed);
+  Trace trace;
+  TraceRecorder recorder(sys, trace);
+
+  if (!driver_knows_workload(options.workload)) {
+    std::fprintf(stderr, "lssim_trace: unknown workload '%s'\n",
+                 options.workload.c_str());
+    return 2;
+  }
+  try {
+    make_driver_builder(options)(sys);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "lssim_trace: %s\n", ex.what());
+    return 1;
+  }
+  sys.run();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "lssim_trace: cannot open %s for writing\n", path);
+    return 1;
+  }
+  trace.save(out);
+  std::printf("recorded %zu accesses (%s, %s) -> %s\n", trace.size(),
+              options.workload.c_str(), to_string(cfg.protocol.kind), path);
+  return 0;
+}
+
+int replay_mode(const char* path, const DriverOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "lssim_trace: cannot open %s\n", path);
+    return 1;
+  }
+  Trace trace;
+  try {
+    trace = Trace::load(in);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "lssim_trace: %s\n", ex.what());
+    return 1;
+  }
+
+  std::printf("%-10s %14s %14s %14s\n", "protocol", "total cycles",
+              "messages", "eliminated");
+  for (ProtocolKind kind : options.protocols) {
+    MachineConfig cfg = options.machine;
+    cfg.protocol.kind = kind;
+    Stats stats(cfg.num_nodes);
+    const ReplayResult result = replay_trace(trace, cfg, stats);
+    std::printf("%-10s %14llu %14llu %14llu\n", to_string(kind),
+                static_cast<unsigned long long>(result.total_cycles),
+                static_cast<unsigned long long>(stats.messages_total()),
+                static_cast<unsigned long long>(
+                    stats.eliminated_acquisitions));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lssim;
+
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: lssim_trace record|replay <file> [options]\n%s",
+                 driver_usage().c_str());
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const char* path = argv[2];
+
+  DriverOptions options;
+  std::string error;
+  std::vector<const char*> rest{argv[0]};
+  for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
+  if (!parse_driver_args(static_cast<int>(rest.size()), rest.data(),
+                         &options, &error)) {
+    std::fprintf(stderr, "lssim_trace: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (mode == "record") {
+    return record_mode(path, options);
+  }
+  if (mode == "replay") {
+    return replay_mode(path, options);
+  }
+  std::fprintf(stderr, "lssim_trace: unknown mode '%s'\n", mode.c_str());
+  return 2;
+}
