@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_instruction_centric.dir/ext_instruction_centric.cpp.o"
+  "CMakeFiles/ext_instruction_centric.dir/ext_instruction_centric.cpp.o.d"
+  "ext_instruction_centric"
+  "ext_instruction_centric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_instruction_centric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cholesky.dir/fig4_cholesky.cpp.o"
+  "CMakeFiles/fig4_cholesky.dir/fig4_cholesky.cpp.o.d"
+  "fig4_cholesky"
+  "fig4_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cholesky_inv.dir/fig5_cholesky_inv.cpp.o"
+  "CMakeFiles/fig5_cholesky_inv.dir/fig5_cholesky_inv.cpp.o.d"
+  "fig5_cholesky_inv"
+  "fig5_cholesky_inv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cholesky_inv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lu.dir/fig6_lu.cpp.o"
+  "CMakeFiles/fig6_lu.dir/fig6_lu.cpp.o.d"
+  "fig6_lu"
+  "fig6_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_oltp.dir/fig7_oltp.cpp.o"
+  "CMakeFiles/fig7_oltp.dir/fig7_oltp.cpp.o.d"
+  "fig7_oltp"
+  "fig7_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_cache_config.dir/sweep_cache_config.cpp.o"
+  "CMakeFiles/sweep_cache_config.dir/sweep_cache_config.cpp.o.d"
+  "sweep_cache_config"
+  "sweep_cache_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_cache_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ls_occurrence.dir/table2_ls_occurrence.cpp.o"
+  "CMakeFiles/table2_ls_occurrence.dir/table2_ls_occurrence.cpp.o.d"
+  "table2_ls_occurrence"
+  "table2_ls_occurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ls_occurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

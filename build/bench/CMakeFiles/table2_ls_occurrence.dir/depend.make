@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_ls_occurrence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_false_sharing.dir/table4_false_sharing.cpp.o"
+  "CMakeFiles/table4_false_sharing.dir/table4_false_sharing.cpp.o.d"
+  "table4_false_sharing"
+  "table4_false_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_false_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_occurrence_all.dir/table_occurrence_all.cpp.o"
+  "CMakeFiles/table_occurrence_all.dir/table_occurrence_all.cpp.o.d"
+  "table_occurrence_all"
+  "table_occurrence_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_occurrence_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

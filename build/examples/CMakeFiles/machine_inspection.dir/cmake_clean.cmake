@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_inspection.dir/machine_inspection.cpp.o"
+  "CMakeFiles/machine_inspection.dir/machine_inspection.cpp.o.d"
+  "machine_inspection"
+  "machine_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

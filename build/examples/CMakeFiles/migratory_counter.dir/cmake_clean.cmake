@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migratory_counter.dir/migratory_counter.cpp.o"
+  "CMakeFiles/migratory_counter.dir/migratory_counter.cpp.o.d"
+  "migratory_counter"
+  "migratory_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migratory_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

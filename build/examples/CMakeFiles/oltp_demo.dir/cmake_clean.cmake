@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_demo.dir/oltp_demo.cpp.o"
+  "CMakeFiles/oltp_demo.dir/oltp_demo.cpp.o.d"
+  "oltp_demo"
+  "oltp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/lssim.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/CMakeFiles/lssim.dir/cache/hierarchy.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/cache/hierarchy.cpp.o.d"
+  "/root/repo/src/core/directory.cpp" "src/CMakeFiles/lssim.dir/core/directory.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/core/directory.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/lssim.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/core/protocol.cpp.o.d"
+  "/root/repo/src/driver/options.cpp" "src/CMakeFiles/lssim.dir/driver/options.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/driver/options.cpp.o.d"
+  "/root/repo/src/driver/runner.cpp" "src/CMakeFiles/lssim.dir/driver/runner.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/driver/runner.cpp.o.d"
+  "/root/repo/src/machine/processor.cpp" "src/CMakeFiles/lssim.dir/machine/processor.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/machine/processor.cpp.o.d"
+  "/root/repo/src/machine/system.cpp" "src/CMakeFiles/lssim.dir/machine/system.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/machine/system.cpp.o.d"
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/lssim.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/shared_heap.cpp" "src/CMakeFiles/lssim.dir/mem/shared_heap.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/mem/shared_heap.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/lssim.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/net/network.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/lssim.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/lssim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/stats/false_sharing.cpp" "src/CMakeFiles/lssim.dir/stats/false_sharing.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/stats/false_sharing.cpp.o.d"
+  "/root/repo/src/stats/ls_oracle.cpp" "src/CMakeFiles/lssim.dir/stats/ls_oracle.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/stats/ls_oracle.cpp.o.d"
+  "/root/repo/src/stats/report.cpp" "src/CMakeFiles/lssim.dir/stats/report.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/stats/report.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/lssim.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/sync/barrier.cpp" "src/CMakeFiles/lssim.dir/sync/barrier.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/sync/barrier.cpp.o.d"
+  "/root/repo/src/sync/spinlock.cpp" "src/CMakeFiles/lssim.dir/sync/spinlock.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/sync/spinlock.cpp.o.d"
+  "/root/repo/src/sync/task_queue.cpp" "src/CMakeFiles/lssim.dir/sync/task_queue.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/sync/task_queue.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/lssim.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/workloads/cholesky.cpp" "src/CMakeFiles/lssim.dir/workloads/cholesky.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/cholesky.cpp.o.d"
+  "/root/repo/src/workloads/harness.cpp" "src/CMakeFiles/lssim.dir/workloads/harness.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/harness.cpp.o.d"
+  "/root/repo/src/workloads/lu.cpp" "src/CMakeFiles/lssim.dir/workloads/lu.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/lu.cpp.o.d"
+  "/root/repo/src/workloads/micro.cpp" "src/CMakeFiles/lssim.dir/workloads/micro.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/micro.cpp.o.d"
+  "/root/repo/src/workloads/mp3d.cpp" "src/CMakeFiles/lssim.dir/workloads/mp3d.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/mp3d.cpp.o.d"
+  "/root/repo/src/workloads/oltp.cpp" "src/CMakeFiles/lssim.dir/workloads/oltp.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/oltp.cpp.o.d"
+  "/root/repo/src/workloads/radix.cpp" "src/CMakeFiles/lssim.dir/workloads/radix.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/radix.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/CMakeFiles/lssim.dir/workloads/stencil.cpp.o" "gcc" "src/CMakeFiles/lssim.dir/workloads/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

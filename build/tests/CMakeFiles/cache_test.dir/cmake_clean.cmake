@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/cache/cache_model_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/cache_model_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/cache_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/cache_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/hierarchy_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/hierarchy_test.cpp.o.d"
+  "cache_test"
+  "cache_test.pdb"
+  "cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

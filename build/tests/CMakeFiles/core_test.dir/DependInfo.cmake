@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ad_protocol_test.cpp" "tests/CMakeFiles/core_test.dir/core/ad_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ad_protocol_test.cpp.o.d"
+  "/root/repo/tests/core/baseline_protocol_test.cpp" "tests/CMakeFiles/core_test.dir/core/baseline_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baseline_protocol_test.cpp.o.d"
+  "/root/repo/tests/core/conformance_test.cpp" "tests/CMakeFiles/core_test.dir/core/conformance_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/conformance_test.cpp.o.d"
+  "/root/repo/tests/core/directory_test.cpp" "tests/CMakeFiles/core_test.dir/core/directory_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/directory_test.cpp.o.d"
+  "/root/repo/tests/core/event_log_test.cpp" "tests/CMakeFiles/core_test.dir/core/event_log_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/event_log_test.cpp.o.d"
+  "/root/repo/tests/core/ils_protocol_test.cpp" "tests/CMakeFiles/core_test.dir/core/ils_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ils_protocol_test.cpp.o.d"
+  "/root/repo/tests/core/latency_test.cpp" "tests/CMakeFiles/core_test.dir/core/latency_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/latency_test.cpp.o.d"
+  "/root/repo/tests/core/limited_directory_test.cpp" "tests/CMakeFiles/core_test.dir/core/limited_directory_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/limited_directory_test.cpp.o.d"
+  "/root/repo/tests/core/ls_protocol_test.cpp" "tests/CMakeFiles/core_test.dir/core/ls_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ls_protocol_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_edge_test.cpp" "tests/CMakeFiles/core_test.dir/core/protocol_edge_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/protocol_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lssim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

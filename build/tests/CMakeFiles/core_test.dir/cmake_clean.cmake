@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/ad_protocol_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ad_protocol_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/baseline_protocol_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/baseline_protocol_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/conformance_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/conformance_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/directory_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/directory_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/event_log_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/event_log_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ils_protocol_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ils_protocol_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/latency_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/latency_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/limited_directory_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/limited_directory_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ls_protocol_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ls_protocol_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/protocol_edge_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/protocol_edge_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

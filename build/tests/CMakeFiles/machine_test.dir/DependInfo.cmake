@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine/consistency_test.cpp" "tests/CMakeFiles/machine_test.dir/machine/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/consistency_test.cpp.o.d"
+  "/root/repo/tests/machine/system_test.cpp" "tests/CMakeFiles/machine_test.dir/machine/system_test.cpp.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/system_test.cpp.o.d"
+  "/root/repo/tests/machine/watchdog_test.cpp" "tests/CMakeFiles/machine_test.dir/machine/watchdog_test.cpp.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/watchdog_test.cpp.o.d"
+  "/root/repo/tests/machine/write_buffer_test.cpp" "tests/CMakeFiles/machine_test.dir/machine/write_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine/write_buffer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lssim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

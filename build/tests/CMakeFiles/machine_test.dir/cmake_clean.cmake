@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_test.dir/machine/consistency_test.cpp.o"
+  "CMakeFiles/machine_test.dir/machine/consistency_test.cpp.o.d"
+  "CMakeFiles/machine_test.dir/machine/system_test.cpp.o"
+  "CMakeFiles/machine_test.dir/machine/system_test.cpp.o.d"
+  "CMakeFiles/machine_test.dir/machine/watchdog_test.cpp.o"
+  "CMakeFiles/machine_test.dir/machine/watchdog_test.cpp.o.d"
+  "CMakeFiles/machine_test.dir/machine/write_buffer_test.cpp.o"
+  "CMakeFiles/machine_test.dir/machine/write_buffer_test.cpp.o.d"
+  "machine_test"
+  "machine_test.pdb"
+  "machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

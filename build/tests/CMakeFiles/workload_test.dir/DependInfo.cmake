@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/harness_test.cpp" "tests/CMakeFiles/workload_test.dir/workloads/harness_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/harness_test.cpp.o.d"
+  "/root/repo/tests/workloads/micro_test.cpp" "tests/CMakeFiles/workload_test.dir/workloads/micro_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/micro_test.cpp.o.d"
+  "/root/repo/tests/workloads/oltp_conservation_test.cpp" "tests/CMakeFiles/workload_test.dir/workloads/oltp_conservation_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/oltp_conservation_test.cpp.o.d"
+  "/root/repo/tests/workloads/oltp_test.cpp" "tests/CMakeFiles/workload_test.dir/workloads/oltp_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/oltp_test.cpp.o.d"
+  "/root/repo/tests/workloads/radix_test.cpp" "tests/CMakeFiles/workload_test.dir/workloads/radix_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/radix_test.cpp.o.d"
+  "/root/repo/tests/workloads/stencil_test.cpp" "tests/CMakeFiles/workload_test.dir/workloads/stencil_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/stencil_test.cpp.o.d"
+  "/root/repo/tests/workloads/workload_test.cpp" "tests/CMakeFiles/workload_test.dir/workloads/workload_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lssim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workloads/harness_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workloads/harness_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workloads/micro_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workloads/micro_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workloads/oltp_conservation_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workloads/oltp_conservation_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workloads/oltp_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workloads/oltp_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workloads/radix_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workloads/radix_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workloads/stencil_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workloads/stencil_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workloads/workload_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workloads/workload_test.cpp.o.d"
+  "workload_test"
+  "workload_test.pdb"
+  "workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

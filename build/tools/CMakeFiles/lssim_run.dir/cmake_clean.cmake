@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lssim_run.dir/lssim_run.cpp.o"
+  "CMakeFiles/lssim_run.dir/lssim_run.cpp.o.d"
+  "lssim_run"
+  "lssim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lssim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lssim_trace.dir/lssim_trace.cpp.o"
+  "CMakeFiles/lssim_trace.dir/lssim_trace.cpp.o.d"
+  "lssim_trace"
+  "lssim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lssim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
