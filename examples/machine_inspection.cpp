@@ -1,6 +1,6 @@
 // Example: the simulator's introspection surfaces — latency histograms,
-// the node-to-node traffic matrix and the epoch timeline — on one OLTP
-// run under the LS protocol.
+// the node-to-node traffic matrix, the epoch timeline and the telemetry
+// metrics registry — on one OLTP run under the LS protocol.
 #include <iostream>
 
 #include "lssim.hpp"
@@ -11,7 +11,8 @@ int main() {
   MachineConfig cfg = MachineConfig::oltp_default(ProtocolKind::kLs);
   cfg.l1 = CacheConfig{8 * 1024, 2, 32};
   cfg.l2 = CacheConfig{32 * 1024, 1, 32};
-  cfg.stats_epoch = 500000;  // Timeline sample every 500k cycles.
+  cfg.stats_epoch = 500000;   // Timeline sample every 500k cycles.
+  cfg.telemetry.metrics = true;  // Live metrics registry.
 
   System sys(cfg);
   OltpParams params;
@@ -29,5 +30,20 @@ int main() {
   print_traffic_matrix(std::cout, stats.traffic_matrix);
   std::cout << "\n";
   print_timeline(std::cout, sys.timeline());
+
+  // The metrics registry gives the same counters programmatically: a
+  // snapshot is self-contained, and counter_total() folds the per-node
+  // label sets together.
+  const MetricsSnapshot snap = sys.telemetry().registry().snapshot();
+  std::cout << "\ntelemetry (" << snap.descs.size() << " metrics):\n";
+  std::cout << "  coherence.read-miss   = "
+            << snap.counter_total("coherence.read-miss") << "\n";
+  std::cout << "  coherence.upgrade     = "
+            << snap.counter_total("coherence.upgrade") << "\n";
+  std::cout << "  coherence.local-write = "
+            << snap.counter_total("coherence.local-write")
+            << "  (eliminated acquisitions)\n";
+  std::cout << "  net.messages          = "
+            << snap.counter_total("net.messages") << "\n";
   return 0;
 }

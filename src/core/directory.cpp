@@ -1,5 +1,12 @@
 #include "core/directory.hpp"
 
-// Directory is header-only today; this TU anchors the module.
+namespace lssim {
 
-namespace lssim {}  // namespace lssim
+void Directory::attach_telemetry(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    entries_created_ = metrics_->counter("directory.entries_created");
+  }
+}
+
+}  // namespace lssim

@@ -29,6 +29,7 @@ enum class ProtoEventKind : std::uint8_t {
   kWriteback,   ///< Dirty replacement.
   kReplHint,    ///< Clean/LStemp replacement.
 };
+inline constexpr int kNumProtoEventKinds = 10;
 
 [[nodiscard]] constexpr const char* to_string(ProtoEventKind k) noexcept {
   switch (k) {

@@ -6,22 +6,41 @@
 namespace lssim {
 
 MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
-                           Stats& stats)
+                           Stats& stats, Telemetry* telemetry)
     : cfg_(config),
       lat_(config.latency),
       space_(space),
       stats_(stats),
-      net_(config.num_nodes, config.latency, stats, config.topology),
+      net_(config.num_nodes, config.latency, stats, config.topology,
+           telemetry != nullptr ? telemetry->metrics() : nullptr),
       dir_(config.protocol.default_tagged &&
            config.protocol.kind != ProtocolKind::kBaseline),
       fs_(config.classify_false_sharing, stats),
       oracle_(true),
       ils_(config.num_nodes),
-      log_(config.event_log_capacity) {
+      log_(config.event_log_capacity),
+      metrics_(telemetry != nullptr ? telemetry->metrics() : nullptr),
+      trace_(telemetry != nullptr ? telemetry->trace() : nullptr) {
   assert(config.validate().empty());
   caches_.reserve(static_cast<std::size_t>(config.num_nodes));
   for (int n = 0; n < config.num_nodes; ++n) {
     caches_.emplace_back(config.l1, config.l2);
+    caches_.back().attach_telemetry(metrics_, static_cast<NodeId>(n));
+  }
+  dir_.attach_telemetry(metrics_);
+  if (metrics_ != nullptr) {
+    // Pre-register one counter per (node, protocol event kind) so the
+    // hot path is a single indexed bump behind a stable handle.
+    ev_counters_.resize(static_cast<std::size_t>(config.num_nodes));
+    for (int n = 0; n < config.num_nodes; ++n) {
+      const MetricLabels labels{{"node", std::to_string(n)}};
+      for (int k = 0; k < kNumProtoEventKinds; ++k) {
+        const auto kind = static_cast<ProtoEventKind>(k);
+        ev_counters_[static_cast<std::size_t>(n)]
+                    [static_cast<std::size_t>(k)] = metrics_->counter(
+                        std::string("coherence.") + to_string(kind), labels);
+      }
+    }
   }
 }
 
@@ -90,6 +109,9 @@ void MemorySystem::tag_event(DirEntry& entry) {
     stats_.blocks_tagged += 1;
     log_.record(current_time_, ProtoEventKind::kTag, current_block_,
                 current_node_, entry.state, true);
+    count_event(current_node_, ProtoEventKind::kTag);
+    trace_instant(current_node_, ProtoEventKind::kTag, current_block_,
+                  current_time_);
   }
 }
 
@@ -104,6 +126,9 @@ void MemorySystem::detag_event(DirEntry& entry) {
     stats_.blocks_detagged += 1;
     log_.record(current_time_, ProtoEventKind::kDetag, current_block_,
                 current_node_, entry.state, false);
+    count_event(current_node_, ProtoEventKind::kDetag);
+    trace_instant(current_node_, ProtoEventKind::kDetag, current_block_,
+                  current_time_);
   }
 }
 
@@ -197,6 +222,7 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
         e.state = DirState::kUncached;
         e.ptr_overflow = false;
       }
+      count_event(node, ProtoEventKind::kReplHint);
       if (home != node) {
         net_.send(node, home, MsgType::kReplHint, t);
       }
@@ -204,6 +230,7 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
     case CacheState::kModified:
       log_.record(t, ProtoEventKind::kWriteback, block, node, e.state,
                   e.tagged);
+      count_event(node, ProtoEventKind::kWriteback);
       assert((e.state == DirState::kDirty || e.state == DirState::kExcl) &&
              e.owner == node);
       e.state = DirState::kUncached;
@@ -222,6 +249,7 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
       assert(e.state == DirState::kExcl && e.owner == node);
       e.state = DirState::kUncached;
       e.owner = kInvalidNode;
+      count_event(node, ProtoEventKind::kReplHint);
       if (home != node) {
         net_.send(node, home, MsgType::kReplHint, t);
       }
@@ -244,6 +272,7 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
   stats_.data_misses += 1;
   log_.record(now, ProtoEventKind::kReadMiss, block, node, e.state,
               e.tagged);
+  count_event(node, ProtoEventKind::kReadMiss);
   stats_.read_miss_home_state[static_cast<std::size_t>(
       classify_home_state(block, e))] += 1;
   oracle_.on_global_read(node, block);
@@ -305,6 +334,8 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
         stats_.notls_messages += 1;
         log_.record(now, ProtoEventKind::kNotLs, block, owner, e.state,
                     e.tagged);
+        count_event(owner, ProtoEventKind::kNotLs);
+        trace_instant(owner, ProtoEventKind::kNotLs, block, now);
         t = leg_noegress(owner, home, MsgType::kNotLs, t);
         e.state = DirState::kShared;
         e.sharers = 0;
@@ -330,6 +361,8 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
           stats_.exclusive_read_replies += 1;
           log_.record(now, ProtoEventKind::kMigrate, block, node, e.state,
                       e.tagged);
+          count_event(node, ProtoEventKind::kMigrate);
+          trace_instant(node, ProtoEventKind::kMigrate, block, now);
           t = leg(home, node, MsgType::kDataExclRead, t);
           t += lat_.fill;
         } else {
@@ -359,6 +392,7 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
     filled->grant_site = site;
   }
   fs_.on_fill(node, block, *filled);
+  trace_span(node, ProtoEventKind::kReadMiss, block, now, t);
   return t;
 }
 
@@ -370,6 +404,7 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
   stats_.global_write_actions += 1;
   if (!upgrade) {
     stats_.data_misses += 1;
+    count_event(node, ProtoEventKind::kWriteMiss);
   }
 
   bool lone_write_detag = false;
@@ -393,6 +428,7 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
     stats_.ownership_acquisitions += 1;
     log_.record(now, ProtoEventKind::kUpgrade, block, node, e.state,
                 e.tagged);
+    count_event(node, ProtoEventKind::kUpgrade);
     assert(e.state == DirState::kShared && e.is_sharer(node));
     completion = leg(home, node, MsgType::kOwnAck, t_dir);
 
@@ -514,6 +550,9 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
     handle_l2_victim(node, victim, completion);
     fs_.on_fill(node, block, *caches_[node].l2().find(block));
   }
+  trace_span(node,
+             upgrade ? ProtoEventKind::kUpgrade : ProtoEventKind::kWriteMiss,
+             block, now, completion);
   return completion;
 }
 
@@ -562,6 +601,8 @@ AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
       stats_.eliminated_acquisitions += 1;
       log_.record(now, ProtoEventKind::kLocalWrite, block, node,
                   DirState::kExcl, true);
+      count_event(node, ProtoEventKind::kLocalWrite);
+      trace_instant(node, ProtoEventKind::kLocalWrite, block, now);
       // This store would have been a global write action under the
       // baseline protocol; the home learns about it lazily.
       oracle_.on_global_write(node, block, /*eliminated=*/true, req.tag);

@@ -18,6 +18,7 @@
 // 220 (2-hop clean) or 420 (4-hop read-on-dirty) cycles.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "stats/false_sharing.hpp"
 #include "stats/ls_oracle.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lssim {
 
@@ -72,8 +74,12 @@ struct AccessResult {
 
 class MemorySystem {
  public:
+  /// `telemetry` (optional) attaches the observability layer: per-node
+  /// protocol-event counters in the metrics registry and begin/end spans
+  /// in the coherence trace. Null (the default) keeps every hook to a
+  /// single branch.
   MemorySystem(const MachineConfig& config, AddressSpace& space,
-               Stats& stats);
+               Stats& stats, Telemetry* telemetry = nullptr);
 
   /// Executes one access atomically at simulated time `now`.
   AccessResult access(NodeId node, const AccessRequest& req, Cycles now);
@@ -113,6 +119,25 @@ class MemorySystem {
   void handle_l2_victim(NodeId node, const CacheLine& victim, Cycles t);
   void invalidate_cached_copy(NodeId node, Addr block);
 
+  /// Telemetry hooks (no-ops when the corresponding pillar is off).
+  void count_event(NodeId node, ProtoEventKind kind) {
+    if (metrics_ != nullptr) {
+      metrics_->add(ev_counters_[node][static_cast<std::size_t>(kind)]);
+    }
+  }
+  void trace_span(NodeId node, ProtoEventKind kind, Addr block,
+                  Cycles begin, Cycles end) {
+    if (trace_ != nullptr) {
+      trace_->span(node, kind, block, begin, end);
+    }
+  }
+  void trace_instant(NodeId node, ProtoEventKind kind, Addr block,
+                     Cycles time) {
+    if (trace_ != nullptr) {
+      trace_->instant(node, kind, block, time);
+    }
+  }
+
   void tag_event(DirEntry& entry);
   void detag_event(DirEntry& entry);
   void apply_write_tag_rules(DirEntry& entry, NodeId writer, bool upgrade,
@@ -135,6 +160,11 @@ class MemorySystem {
   LoadStoreOracle oracle_;
   IlsPredictor ils_;
   EventLog log_;
+  // Observability (null when disabled; see src/telemetry/).
+  MetricsRegistry* metrics_ = nullptr;
+  CoherenceTrace* trace_ = nullptr;
+  /// Per-node, per-kind counter handles (registered once at startup).
+  std::vector<std::array<CounterHandle, kNumProtoEventKinds>> ev_counters_;
   // Scratch: context of the in-flight access (for oracle/log hooks).
   StreamTag current_tag_ = StreamTag::kApp;
   Cycles current_time_ = 0;

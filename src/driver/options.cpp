@@ -92,6 +92,14 @@ std::string driver_usage() {
   --set KEY=VALUE    workload parameter (repeatable), e.g.
                      --set particles=4000 --set txns_per_proc=500
   --format F         text | csv | json                (default text)
+
+  --protocols A,B    run several protocols (e.g. baseline,ls)
+  --metrics-out F    write metrics snapshots as JSON ("-" = stdout)
+  --perfetto-out F   write a Chrome trace-event JSON timeline
+                     (open in ui.perfetto.dev or chrome://tracing)
+  --manifest-out F   write the versioned run manifest (JSON)
+  --trace-capacity N max trace events kept per run
+                     (default 1048576 when --perfetto-out is set)
   --help             this text
 )";
 }
@@ -123,6 +131,40 @@ bool parse_driver_args(int argc, const char* const* argv,
         return false;
       }
       options->protocols = {kind};
+    } else if (arg == "--protocols") {
+      if (!need_value(i, &value)) return false;
+      std::vector<ProtocolKind> kinds;
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        const std::string name = value.substr(start, comma - start);
+        ProtocolKind kind;
+        if (name.empty() || !parse_protocol(name, &kind)) {
+          *error = "bad --protocols entry: '" + name + "' in " + value;
+          return false;
+        }
+        kinds.push_back(kind);
+        start = comma + 1;
+      }
+      options->protocols = std::move(kinds);
+    } else if (arg == "--metrics-out") {
+      if (!need_value(i, &value)) return false;
+      options->metrics_out = value;
+    } else if (arg == "--perfetto-out") {
+      if (!need_value(i, &value)) return false;
+      options->perfetto_out = value;
+    } else if (arg == "--manifest-out") {
+      if (!need_value(i, &value)) return false;
+      options->manifest_out = value;
+    } else if (arg == "--trace-capacity") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n)) {
+        *error = "bad --trace-capacity: " + value;
+        return false;
+      }
+      options->trace_capacity = static_cast<std::size_t>(n);
     } else if (arg == "--compare") {
       options->compare = true;
       options->protocols = {ProtocolKind::kBaseline, ProtocolKind::kAd,

@@ -31,6 +31,13 @@ struct DriverOptions {
   /// Free-form workload parameters (--set key=value), interpreted by the
   /// workload factory in driver/runner.cpp.
   std::map<std::string, std::string> params;
+  // Telemetry outputs (empty = disabled; "-" = stdout where noted).
+  std::string metrics_out;   ///< Metrics snapshots as JSON ("-" ok).
+  std::string perfetto_out;  ///< Chrome trace-event / Perfetto JSON.
+  std::string manifest_out;  ///< Versioned run manifest JSON.
+  /// Trace events kept per run; 0 means "default (1M) when --perfetto-out
+  /// is set, else tracing off".
+  std::size_t trace_capacity = 0;
   bool show_help = false;
 };
 

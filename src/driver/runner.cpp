@@ -1,11 +1,15 @@
 #include "driver/runner.hpp"
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <ostream>
 #include <set>
 #include <stdexcept>
 
 #include "stats/report.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/perfetto.hpp"
 
 #include "workloads/cholesky.hpp"
 #include "workloads/lu.hpp"
@@ -144,6 +148,131 @@ RunResult run_driver_workload(const DriverOptions& options,
     throw std::invalid_argument("invalid machine configuration: " + problem);
   }
   return run_experiment(cfg, make_driver_builder(options), options.seed);
+}
+
+namespace {
+
+/// Telemetry configuration implied by the output flags: metrics whenever
+/// a metrics or manifest file is requested, tracing whenever a trace file
+/// is (with a 1M-event default capacity).
+TelemetryConfig telemetry_for(const DriverOptions& options) {
+  TelemetryConfig t;
+  t.metrics = !options.metrics_out.empty() || !options.manifest_out.empty();
+  t.trace_capacity = options.trace_capacity;
+  if (t.trace_capacity == 0 && !options.perfetto_out.empty()) {
+    t.trace_capacity = std::size_t{1} << 20;
+  }
+  return t;
+}
+
+}  // namespace
+
+DriverRun run_driver_workload_captured(const DriverOptions& options,
+                                       ProtocolKind kind) {
+  MachineConfig cfg = options.machine;
+  cfg.protocol.kind = kind;
+  cfg.telemetry = telemetry_for(options);
+  const std::string problem = cfg.validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("invalid machine configuration: " + problem);
+  }
+  DriverRun run;
+  run.result = run_experiment(
+      cfg, make_driver_builder(options), options.seed, [&run](System& sys) {
+        if (sys.telemetry().metrics_enabled()) {
+          run.metrics = sys.telemetry().registry().snapshot();
+        }
+        run.trace = sys.telemetry().coherence_trace();
+      });
+  return run;
+}
+
+namespace {
+
+/// Writes one artifact via `emit` to `path` ("-" = stdout), with an
+/// explicit flush-and-check so mid-write failures (full disk, closed
+/// pipe) surface as errors rather than truncated files.
+template <typename Emit>
+bool write_artifact(const std::string& path, const char* what, Emit&& emit,
+                    std::string* error) {
+  if (path == "-") {
+    emit(std::cout);
+    std::cout.flush();
+    if (!std::cout) {
+      *error = std::string("failed writing ") + what + " to stdout";
+      return false;
+    }
+    return true;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    *error = std::string("cannot open ") + path + " for " + what;
+    return false;
+  }
+  emit(os);
+  os.flush();
+  if (!os) {
+    *error = std::string("failed writing ") + what + " to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_driver_artifacts(const DriverOptions& options,
+                            const std::vector<DriverRun>& runs,
+                            double wall_seconds, std::string* error) {
+  if (!options.metrics_out.empty()) {
+    Json::Array documents;
+    for (const DriverRun& run : runs) {
+      Json::Object entry;
+      entry.emplace_back("protocol", Json(to_string(run.result.protocol)));
+      entry.emplace_back("metrics", snapshot_to_json(run.metrics));
+      documents.emplace_back(std::move(entry));
+    }
+    const Json doc{std::move(documents)};
+    const bool ok = write_artifact(
+        options.metrics_out, "metrics",
+        [&doc](std::ostream& os) {
+          doc.write(os, 0);
+          os << "\n";
+        },
+        error);
+    if (!ok) return false;
+  }
+  if (!options.perfetto_out.empty()) {
+    std::vector<TraceProcess> processes;
+    processes.reserve(runs.size());
+    for (const DriverRun& run : runs) {
+      processes.push_back(
+          TraceProcess{to_string(run.result.protocol), &run.trace, nullptr});
+    }
+    const bool ok = write_artifact(
+        options.perfetto_out, "trace",
+        [&processes](std::ostream& os) { write_chrome_trace(os, processes); },
+        error);
+    if (!ok) return false;
+  }
+  if (!options.manifest_out.empty()) {
+    RunManifest manifest;
+    manifest.workload = options.workload;
+    manifest.seed = options.seed;
+    manifest.params = options.params;
+    manifest.machine = options.machine;
+    manifest.wall_seconds = wall_seconds;
+    manifest.runs.reserve(runs.size());
+    for (const DriverRun& run : runs) {
+      manifest.runs.push_back(
+          RunManifest::ProtocolRun{run.result, run.metrics});
+    }
+    const bool ok = write_artifact(
+        options.manifest_out, "manifest",
+        [&manifest](std::ostream& os) { write_manifest(os, manifest); },
+        error);
+    if (!ok) return false;
+  }
+  return true;
 }
 
 namespace {

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "driver/options.hpp"
+#include "telemetry/coherence_trace.hpp"
+#include "telemetry/registry.hpp"
 #include "workloads/harness.hpp"
 
 namespace lssim {
@@ -22,6 +24,26 @@ WorkloadBuilder make_driver_builder(const DriverOptions& options);
 /// unknown workloads or bad parameters.
 RunResult run_driver_workload(const DriverOptions& options,
                               ProtocolKind kind);
+
+/// One protocol run plus the telemetry captured from it (both empty/
+/// disabled unless the corresponding --*-out flag was given).
+struct DriverRun {
+  RunResult result;
+  MetricsSnapshot metrics;
+  CoherenceTrace trace{0};
+};
+
+/// As run_driver_workload, additionally enabling telemetry according to
+/// `options` and capturing the metrics snapshot and coherence trace.
+DriverRun run_driver_workload_captured(const DriverOptions& options,
+                                       ProtocolKind kind);
+
+/// Writes the requested artifact files (--metrics-out, --perfetto-out,
+/// --manifest-out). Returns false and sets `*error` when any output
+/// stream fails; artifacts already written stay on disk.
+bool write_driver_artifacts(const DriverOptions& options,
+                            const std::vector<DriverRun>& runs,
+                            double wall_seconds, std::string* error);
 
 /// Prints one or more results in the requested format. For kText with
 /// several results, values are also shown normalized to the first.

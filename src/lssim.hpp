@@ -35,6 +35,12 @@
 #include "stats/stats.hpp"
 #include "stats/timeline.hpp"
 #include "sync/barrier.hpp"
+#include "telemetry/coherence_trace.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/task_queue.hpp"
 #include "trace/recorder.hpp"

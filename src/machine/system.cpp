@@ -10,7 +10,8 @@ System::System(const MachineConfig& config, std::uint64_t seed)
       stats_(config.num_nodes),
       space_(config.num_nodes, config.page_bytes),
       heap_(space_),
-      memory_(config, space_, stats_),
+      telemetry_(config.telemetry),
+      memory_(config, space_, stats_, &telemetry_),
       timeline_(config.stats_epoch) {
   const std::string problem = config.validate();
   if (!problem.empty()) {
@@ -21,6 +22,16 @@ System::System(const MachineConfig& config, std::uint64_t seed)
   for (int n = 0; n < config.num_nodes; ++n) {
     procs_.push_back(
         std::make_unique<Processor>(static_cast<NodeId>(n), seed));
+  }
+  if (MetricsRegistry* m = telemetry_.metrics()) {
+    read_latency_h_ = m->histogram("sys.read_latency");
+    write_latency_h_ = m->histogram("sys.write_latency");
+    exec_time_g_ = m->gauge("sys.exec_cycles");
+    node_accesses_.reserve(static_cast<std::size_t>(config.num_nodes));
+    for (int n = 0; n < config.num_nodes; ++n) {
+      node_accesses_.push_back(m->counter(
+          "sys.accesses", MetricLabels{{"node", std::to_string(n)}}));
+    }
   }
 }
 
@@ -70,6 +81,11 @@ void System::run() {
       stats_.write_latency.record(res.latency);
     } else {
       stats_.read_latency.record(res.latency);
+    }
+    if (MetricsRegistry* m = telemetry_.metrics()) {
+      m->add(node_accesses_[next->id_]);
+      m->observe(req.is_write() ? write_latency_h_ : read_latency_h_,
+                 res.latency);
     }
     if (timeline_.enabled()) {
       timeline_.observe(next->time_, stats_.accesses,
@@ -122,6 +138,9 @@ void System::run() {
     proc->busy_ = 0;
   }
   memory_.finalize();
+  if (MetricsRegistry* m = telemetry_.metrics()) {
+    m->set(exec_time_g_, static_cast<std::int64_t>(exec_time()));
+  }
 }
 
 Cycles System::exec_time() const noexcept {

@@ -20,6 +20,7 @@
 #include "sim/config.hpp"
 #include "sim/task.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lssim {
 
@@ -49,6 +50,10 @@ class System {
   [[nodiscard]] Stats& stats() noexcept { return stats_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] MemorySystem& memory() noexcept { return memory_; }
+  [[nodiscard]] Telemetry& telemetry() noexcept { return telemetry_; }
+  [[nodiscard]] const Telemetry& telemetry() const noexcept {
+    return telemetry_;
+  }
   [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const EpochTimeline& timeline() const noexcept {
     return timeline_;
@@ -80,12 +85,18 @@ class System {
   Stats stats_;
   AddressSpace space_;
   SharedHeap heap_;
+  Telemetry telemetry_;  ///< Must outlive memory_ (handles point into it).
   MemorySystem memory_;
   std::vector<std::unique_ptr<Processor>> procs_;
   std::vector<SimTask<void>> programs_;  // Index-aligned with procs_.
   std::vector<std::shared_ptr<void>> retained_;
   EpochTimeline timeline_;
   AccessObserver observer_;
+  // System-level metric handles (only valid when telemetry.metrics is on).
+  HistogramHandle read_latency_h_;
+  HistogramHandle write_latency_h_;
+  std::vector<CounterHandle> node_accesses_;
+  GaugeHandle exec_time_g_;
   bool ran_ = false;
   bool timed_out_ = false;
 };

@@ -16,13 +16,17 @@
 #include "sim/config.hpp"
 #include "sim/types.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/registry.hpp"
 
 namespace lssim {
 
 class Network {
  public:
+  /// `metrics` (optional) publishes message/hop counters and a queueing-
+  /// delay histogram; null disables the hooks (one branch per send).
   Network(int num_nodes, const LatencyConfig& latency, Stats& stats,
-          Topology topology = Topology::kCrossbar);
+          Topology topology = Topology::kCrossbar,
+          MetricsRegistry* metrics = nullptr);
 
   /// Sends one message at time `now`; returns its arrival time at `dst`.
   ///
@@ -64,6 +68,10 @@ class Network {
   std::vector<Cycles> link_free_;
   Cycles total_queueing_ = 0;
   Stats& stats_;
+  MetricsRegistry* metrics_ = nullptr;
+  CounterHandle messages_;
+  CounterHandle hops_;
+  HistogramHandle queue_delay_;
 };
 
 }  // namespace lssim

@@ -1,6 +1,7 @@
 // Machine, protocol and latency configuration (paper Table 1 / Figure 2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -133,6 +134,22 @@ enum class ConsistencyModel : std::uint8_t { kSc, kPc };
   return "?";
 }
 
+/// Observability knobs (see src/telemetry/). Both default off; a disabled
+/// run pays one null-pointer branch per hook (the event-log pattern).
+struct TelemetryConfig {
+  /// Registers and maintains the named metrics registry (per-node protocol
+  /// event counters, cache/network/directory counters, latency histograms).
+  bool metrics = false;
+
+  /// When nonzero, the memory system records the first N coherence
+  /// spans/instants for Perfetto export (telemetry/coherence_trace.hpp).
+  std::size_t trace_capacity = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return metrics || trace_capacity > 0;
+  }
+};
+
 /// Whole-machine configuration.
 struct MachineConfig {
   int num_nodes = 4;
@@ -163,6 +180,9 @@ struct MachineConfig {
   /// When nonzero, the memory system retains the last N protocol events
   /// in a ring for debugging (see core/event_log.hpp).
   std::size_t event_log_capacity = 0;
+
+  /// Observability: metrics registry and coherence-trace recording.
+  TelemetryConfig telemetry;
 
   /// Watchdog: when nonzero, System::run() stops once any processor's
   /// clock passes this budget and reports timed_out() — turning workload

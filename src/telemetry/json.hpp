@@ -1,0 +1,128 @@
+// Minimal JSON document model for the telemetry layer: the metrics
+// snapshot, the Perfetto trace export and the run manifest all emit JSON,
+// and the tests (and `--manifest-out` consumers) need to parse it back.
+//
+// Deliberately small: a value variant, a writer and a recursive-descent
+// parser. Unsigned integers round-trip exactly (counters can exceed the
+// 2^53 double range); everything else is stored as double. No external
+// dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lssim {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kUint,    ///< Exact unsigned integer (counters, cycles).
+    kNumber,  ///< Any other number, stored as double.
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered object (stable output, preserves schema ordering).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(std::uint64_t value) : type_(Type::kUint), uint_(value) {}
+  Json(std::uint32_t value) : Json(static_cast<std::uint64_t>(value)) {}
+  Json(int value)
+      : type_(value < 0 ? Type::kNumber : Type::kUint),
+        uint_(value < 0 ? 0 : static_cast<std::uint64_t>(value)),
+        num_(static_cast<double>(value)) {}
+  Json(std::int64_t value)
+      : type_(value < 0 ? Type::kNumber : Type::kUint),
+        uint_(value < 0 ? 0 : static_cast<std::uint64_t>(value)),
+        num_(static_cast<double>(value)) {}
+  Json(double value) : type_(Type::kNumber), num_(value) {}
+  Json(const char* value) : type_(Type::kString), str_(value) {}
+  Json(std::string value) : type_(Type::kString), str_(std::move(value)) {}
+  Json(Array value) : type_(Type::kArray), arr_(std::move(value)) {}
+  Json(Object value) : type_(Type::kObject), obj_(std::move(value)) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kUint || type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] std::uint64_t as_uint() const noexcept {
+    return type_ == Type::kUint ? uint_
+                                : static_cast<std::uint64_t>(num_ < 0 ? 0
+                                                                      : num_);
+  }
+  [[nodiscard]] double as_double() const noexcept {
+    return type_ == Type::kUint ? static_cast<double>(uint_) : num_;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+  [[nodiscard]] const Array& as_array() const noexcept { return arr_; }
+  [[nodiscard]] const Object& as_object() const noexcept { return obj_; }
+  [[nodiscard]] Array& as_array() noexcept { return arr_; }
+  [[nodiscard]] Object& as_object() noexcept { return obj_; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Appends a member to an object value (or turns a null into an object).
+  void set(std::string key, Json value) {
+    if (type_ == Type::kNull) type_ = Type::kObject;
+    obj_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Serialises to `os`. `indent` > 0 pretty-prints with that many spaces
+  /// per level; 0 emits a compact single line.
+  void write(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses `text`; on failure returns a null value and sets `*error` to
+  /// a description with an offset. A successful parse of the literal
+  /// `null` also yields a null value with `*error` left empty.
+  static Json parse(std::string_view text, std::string* error);
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Writes `text` as a quoted JSON string with escapes to `os`.
+void write_json_string(std::ostream& os, std::string_view text);
+
+}  // namespace lssim

@@ -1,0 +1,358 @@
+#include "telemetry/manifest.hpp"
+
+#include <utility>
+
+namespace lssim {
+namespace {
+
+bool protocol_from_string(const std::string& name, ProtocolKind* out) {
+  if (name == "Baseline") {
+    *out = ProtocolKind::kBaseline;
+  } else if (name == "AD") {
+    *out = ProtocolKind::kAd;
+  } else if (name == "LS") {
+    *out = ProtocolKind::kLs;
+  } else if (name == "ILS") {
+    *out = ProtocolKind::kIls;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool topology_from_string(const std::string& name, Topology* out) {
+  if (name == "crossbar") {
+    *out = Topology::kCrossbar;
+  } else if (name == "ring") {
+    *out = Topology::kRing;
+  } else if (name == "mesh2d") {
+    *out = Topology::kMesh2D;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool consistency_from_string(const std::string& name, ConsistencyModel* out) {
+  if (name == "SC") {
+    *out = ConsistencyModel::kSc;
+  } else if (name == "PC") {
+    *out = ConsistencyModel::kPc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Reads object member `key` as an unsigned integer into `*out`; leaves
+/// `*out` untouched (schema-addition tolerance) when the member is absent.
+bool read_u64(const Json& obj, const char* key, std::uint64_t* out,
+              std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number()) {
+    if (error != nullptr) *error = std::string("field '") + key +
+                                   "' must be a number";
+    return false;
+  }
+  *out = v->as_uint();
+  return true;
+}
+
+template <typename T>
+bool read_uint_as(const Json& obj, const char* key, T* out,
+                  std::string* error) {
+  std::uint64_t v = *out;
+  if (!read_u64(obj, key, &v, error)) return false;
+  *out = static_cast<T>(v);
+  return true;
+}
+
+Json cache_config_to_json(const CacheConfig& cache) {
+  Json::Object o;
+  o.emplace_back("size_bytes", Json(cache.size_bytes));
+  o.emplace_back("assoc", Json(cache.assoc));
+  o.emplace_back("block_bytes", Json(cache.block_bytes));
+  return Json(std::move(o));
+}
+
+bool cache_config_from_json(const Json& json, CacheConfig* out,
+                            std::string* error) {
+  if (!json.is_object()) {
+    if (error != nullptr) *error = "cache config must be an object";
+    return false;
+  }
+  return read_uint_as(json, "size_bytes", &out->size_bytes, error) &&
+         read_uint_as(json, "assoc", &out->assoc, error) &&
+         read_uint_as(json, "block_bytes", &out->block_bytes, error);
+}
+
+Json machine_to_json(const MachineConfig& machine) {
+  Json::Object o;
+  o.emplace_back("num_nodes", Json(machine.num_nodes));
+  o.emplace_back("page_bytes", Json(machine.page_bytes));
+  o.emplace_back("l1", cache_config_to_json(machine.l1));
+  o.emplace_back("l2", cache_config_to_json(machine.l2));
+  o.emplace_back("topology", Json(to_string(machine.topology)));
+  o.emplace_back("consistency", Json(to_string(machine.consistency)));
+  o.emplace_back("directory", Json(to_string(machine.directory_scheme)));
+  o.emplace_back("classify_false_sharing",
+                 Json(machine.classify_false_sharing));
+  return Json(std::move(o));
+}
+
+bool machine_from_json(const Json& json, MachineConfig* out,
+                       std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (!json.is_object()) return fail("machine config must be an object");
+  std::uint64_t nodes = static_cast<std::uint64_t>(out->num_nodes);
+  if (!read_u64(json, "num_nodes", &nodes, error)) return false;
+  out->num_nodes = static_cast<int>(nodes);
+  if (!read_uint_as(json, "page_bytes", &out->page_bytes, error)) return false;
+  if (const Json* l1 = json.find("l1"); l1 != nullptr) {
+    if (!cache_config_from_json(*l1, &out->l1, error)) return false;
+  }
+  if (const Json* l2 = json.find("l2"); l2 != nullptr) {
+    if (!cache_config_from_json(*l2, &out->l2, error)) return false;
+  }
+  if (const Json* topo = json.find("topology"); topo != nullptr) {
+    if (!topo->is_string() ||
+        !topology_from_string(topo->as_string(), &out->topology)) {
+      return fail("unknown topology");
+    }
+  }
+  if (const Json* cons = json.find("consistency"); cons != nullptr) {
+    if (!cons->is_string() ||
+        !consistency_from_string(cons->as_string(), &out->consistency)) {
+      return fail("unknown consistency model");
+    }
+  }
+  if (const Json* fs = json.find("classify_false_sharing");
+      fs != nullptr && fs->is_bool()) {
+    out->classify_false_sharing = fs->as_bool();
+  }
+  return true;
+}
+
+}  // namespace
+
+Json run_result_to_json(const RunResult& result) {
+  Json::Object o;
+  o.emplace_back("protocol", Json(to_string(result.protocol)));
+  o.emplace_back("exec_cycles", Json(result.exec_time));
+  Json::Object time;
+  time.emplace_back("busy", Json(result.time.busy));
+  time.emplace_back("read_stall", Json(result.time.read_stall));
+  time.emplace_back("write_stall", Json(result.time.write_stall));
+  o.emplace_back("time", Json(std::move(time)));
+  Json::Object traffic;
+  for (int c = 0; c < kNumMsgClasses; ++c) {
+    traffic.emplace_back(to_string(static_cast<MsgClass>(c)),
+                         Json(result.traffic[static_cast<std::size_t>(c)]));
+  }
+  traffic.emplace_back("total", Json(result.traffic_total));
+  o.emplace_back("traffic", Json(std::move(traffic)));
+  Json::Array home;
+  for (int s = 0; s < kNumHomeStates; ++s) {
+    home.emplace_back(result.read_miss_home[static_cast<std::size_t>(s)]);
+  }
+  o.emplace_back("read_miss_home", Json(std::move(home)));
+  o.emplace_back("global_read_misses", Json(result.global_read_misses));
+  o.emplace_back("global_write_actions", Json(result.global_write_actions));
+  o.emplace_back("ownership_acquisitions",
+                 Json(result.ownership_acquisitions));
+  o.emplace_back("invalidations", Json(result.invalidations));
+  o.emplace_back("single_invalidations", Json(result.single_invalidations));
+  o.emplace_back("eliminated_acquisitions",
+                 Json(result.eliminated_acquisitions));
+  o.emplace_back("data_misses", Json(result.data_misses));
+  o.emplace_back("coherence_misses", Json(result.coherence_misses));
+  o.emplace_back("false_sharing_misses", Json(result.false_sharing_misses));
+  o.emplace_back("accesses", Json(result.accesses));
+  o.emplace_back("l1_hits", Json(result.l1_hits));
+  o.emplace_back("l2_hits", Json(result.l2_hits));
+  o.emplace_back("blocks_tagged", Json(result.blocks_tagged));
+  o.emplace_back("blocks_detagged", Json(result.blocks_detagged));
+  // Derived ratios for human/plotting convenience; ignored on parse.
+  Json::Object derived;
+  derived.emplace_back("invalidations_per_write",
+                       Json(result.invalidations_per_write()));
+  derived.emplace_back("ls_fraction", Json(result.oracle_total.ls_fraction()));
+  derived.emplace_back("migratory_fraction",
+                       Json(result.oracle_total.migratory_fraction()));
+  o.emplace_back("derived", Json(std::move(derived)));
+  return Json(std::move(o));
+}
+
+bool run_result_from_json(const Json& json, RunResult* out,
+                          std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (!json.is_object()) return fail("run result must be an object");
+  *out = RunResult{};
+  if (const Json* proto = json.find("protocol");
+      proto != nullptr && proto->is_string()) {
+    if (!protocol_from_string(proto->as_string(), &out->protocol)) {
+      return fail("unknown protocol name");
+    }
+  }
+  if (!read_u64(json, "exec_cycles", &out->exec_time, error)) return false;
+  if (const Json* time = json.find("time"); time != nullptr) {
+    if (!time->is_object()) return fail("'time' must be an object");
+    if (!read_u64(*time, "busy", &out->time.busy, error) ||
+        !read_u64(*time, "read_stall", &out->time.read_stall, error) ||
+        !read_u64(*time, "write_stall", &out->time.write_stall, error)) {
+      return false;
+    }
+  }
+  if (const Json* traffic = json.find("traffic"); traffic != nullptr) {
+    if (!traffic->is_object()) return fail("'traffic' must be an object");
+    for (int c = 0; c < kNumMsgClasses; ++c) {
+      if (!read_u64(*traffic, to_string(static_cast<MsgClass>(c)),
+                    &out->traffic[static_cast<std::size_t>(c)], error)) {
+        return false;
+      }
+    }
+    if (!read_u64(*traffic, "total", &out->traffic_total, error)) {
+      return false;
+    }
+  }
+  if (const Json* home = json.find("read_miss_home"); home != nullptr) {
+    if (!home->is_array() ||
+        home->as_array().size() !=
+            static_cast<std::size_t>(kNumHomeStates)) {
+      return fail("'read_miss_home' must be a 4-element array");
+    }
+    for (int s = 0; s < kNumHomeStates; ++s) {
+      const Json& v = home->as_array()[static_cast<std::size_t>(s)];
+      if (!v.is_number()) return fail("'read_miss_home' entries not numeric");
+      out->read_miss_home[static_cast<std::size_t>(s)] = v.as_uint();
+    }
+  }
+  return read_u64(json, "global_read_misses", &out->global_read_misses,
+                  error) &&
+         read_u64(json, "global_write_actions", &out->global_write_actions,
+                  error) &&
+         read_u64(json, "ownership_acquisitions",
+                  &out->ownership_acquisitions, error) &&
+         read_u64(json, "invalidations", &out->invalidations, error) &&
+         read_u64(json, "single_invalidations", &out->single_invalidations,
+                  error) &&
+         read_u64(json, "eliminated_acquisitions",
+                  &out->eliminated_acquisitions, error) &&
+         read_u64(json, "data_misses", &out->data_misses, error) &&
+         read_u64(json, "coherence_misses", &out->coherence_misses, error) &&
+         read_u64(json, "false_sharing_misses", &out->false_sharing_misses,
+                  error) &&
+         read_u64(json, "accesses", &out->accesses, error) &&
+         read_u64(json, "l1_hits", &out->l1_hits, error) &&
+         read_u64(json, "l2_hits", &out->l2_hits, error) &&
+         read_u64(json, "blocks_tagged", &out->blocks_tagged, error) &&
+         read_u64(json, "blocks_detagged", &out->blocks_detagged, error);
+}
+
+Json manifest_to_json(const RunManifest& manifest) {
+  Json::Object o;
+  o.emplace_back("schema_version", Json(manifest.schema_version));
+  o.emplace_back("generator", Json(manifest.generator));
+  o.emplace_back("workload", Json(manifest.workload));
+  o.emplace_back("seed", Json(manifest.seed));
+  if (!manifest.params.empty()) {
+    Json::Object params;
+    for (const auto& [k, v] : manifest.params) params.emplace_back(k, Json(v));
+    o.emplace_back("params", Json(std::move(params)));
+  }
+  o.emplace_back("machine", machine_to_json(manifest.machine));
+  o.emplace_back("wall_seconds", Json(manifest.wall_seconds));
+  Json::Array runs;
+  for (const RunManifest::ProtocolRun& run : manifest.runs) {
+    Json::Object r;
+    r.emplace_back("result", run_result_to_json(run.result));
+    if (!run.metrics.empty()) {
+      r.emplace_back("metrics", snapshot_to_json(run.metrics));
+    }
+    runs.emplace_back(std::move(r));
+  }
+  o.emplace_back("runs", Json(std::move(runs)));
+  return Json(std::move(o));
+}
+
+bool manifest_from_json(const Json& json, RunManifest* out,
+                        std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (!json.is_object()) return fail("manifest must be an object");
+  *out = RunManifest{};
+  const Json* version = json.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return fail("manifest needs a numeric 'schema_version'");
+  }
+  out->schema_version = static_cast<std::uint32_t>(version->as_uint());
+  if (out->schema_version > kManifestSchemaVersion) {
+    return fail("manifest schema_version is newer than this build");
+  }
+  if (const Json* gen = json.find("generator");
+      gen != nullptr && gen->is_string()) {
+    out->generator = gen->as_string();
+  }
+  if (const Json* wl = json.find("workload");
+      wl != nullptr && wl->is_string()) {
+    out->workload = wl->as_string();
+  }
+  if (!read_u64(json, "seed", &out->seed, error)) return false;
+  if (const Json* params = json.find("params"); params != nullptr) {
+    if (!params->is_object()) return fail("'params' must be an object");
+    for (const auto& [k, v] : params->as_object()) {
+      if (!v.is_string()) return fail("'params' values must be strings");
+      out->params[k] = v.as_string();
+    }
+  }
+  if (const Json* machine = json.find("machine"); machine != nullptr) {
+    if (!machine_from_json(*machine, &out->machine, error)) return false;
+  }
+  if (const Json* wall = json.find("wall_seconds");
+      wall != nullptr && wall->is_number()) {
+    out->wall_seconds = wall->as_double();
+  }
+  const Json* runs = json.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return fail("manifest needs a 'runs' array");
+  }
+  for (const Json& r : runs->as_array()) {
+    if (!r.is_object()) return fail("run entry must be an object");
+    RunManifest::ProtocolRun run;
+    const Json* result = r.find("result");
+    if (result == nullptr) return fail("run entry needs a 'result'");
+    if (!run_result_from_json(*result, &run.result, error)) return false;
+    if (const Json* metrics = r.find("metrics"); metrics != nullptr) {
+      if (!snapshot_from_json(*metrics, &run.metrics, error)) return false;
+    }
+    out->runs.push_back(std::move(run));
+  }
+  return true;
+}
+
+bool manifest_from_text(std::string_view text, RunManifest* out,
+                        std::string* error) {
+  std::string parse_error;
+  const Json doc = Json::parse(text, &parse_error);
+  if (!parse_error.empty()) {
+    if (error != nullptr) *error = parse_error;
+    return false;
+  }
+  return manifest_from_json(doc, out, error);
+}
+
+void write_manifest(std::ostream& os, const RunManifest& manifest) {
+  manifest_to_json(manifest).write(os, 1);
+  os << '\n';
+}
+
+}  // namespace lssim

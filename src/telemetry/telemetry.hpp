@@ -1,0 +1,52 @@
+// The per-System telemetry bundle: one metrics registry plus one
+// coherence-trace buffer, constructed from MachineConfig::telemetry.
+//
+// Components receive a `Telemetry*` and cache `metrics()` / `trace()`
+// pointers, which are null when the corresponding pillar is disabled —
+// every hot-path hook is then a single predictable branch.
+#pragma once
+
+#include "sim/config.hpp"
+#include "telemetry/coherence_trace.hpp"
+#include "telemetry/registry.hpp"
+
+namespace lssim {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  explicit Telemetry(const TelemetryConfig& config)
+      : metrics_enabled_(config.metrics), trace_(config.trace_capacity) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return metrics_enabled_;
+  }
+
+  /// The registry, or null when metrics are disabled. Components must
+  /// treat null as "skip the hook".
+  [[nodiscard]] MetricsRegistry* metrics() noexcept {
+    return metrics_enabled_ ? &registry_ : nullptr;
+  }
+
+  /// The trace buffer, or null when tracing is disabled.
+  [[nodiscard]] CoherenceTrace* trace() noexcept {
+    return trace_.enabled() ? &trace_ : nullptr;
+  }
+
+  [[nodiscard]] const MetricsRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const CoherenceTrace& coherence_trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  bool metrics_enabled_ = false;
+  MetricsRegistry registry_;
+  CoherenceTrace trace_;
+};
+
+}  // namespace lssim

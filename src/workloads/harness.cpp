@@ -39,10 +39,20 @@ RunResult collect(System& sys) {
 
 RunResult run_experiment(const MachineConfig& config,
                          const WorkloadBuilder& build, std::uint64_t seed) {
+  return run_experiment(config, build, seed, nullptr);
+}
+
+RunResult run_experiment(const MachineConfig& config,
+                         const WorkloadBuilder& build, std::uint64_t seed,
+                         const RunInspector& inspect) {
   System sys(config, seed);
   build(sys);
   sys.run();
-  return collect(sys);
+  RunResult result = collect(sys);
+  if (inspect) {
+    inspect(sys);
+  }
+  return result;
 }
 
 }  // namespace lssim

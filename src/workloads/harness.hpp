@@ -60,4 +60,15 @@ using WorkloadBuilder = std::function<void(System&)>;
                                        const WorkloadBuilder& build,
                                        std::uint64_t seed = 1);
 
+/// Called on the finished System before it is destroyed; used by the
+/// driver to capture telemetry (metrics snapshot, coherence trace).
+using RunInspector = std::function<void(System&)>;
+
+/// As run_experiment, additionally invoking `inspect` (when non-null)
+/// after the run while the System is still alive.
+[[nodiscard]] RunResult run_experiment(const MachineConfig& config,
+                                       const WorkloadBuilder& build,
+                                       std::uint64_t seed,
+                                       const RunInspector& inspect);
+
 }  // namespace lssim

@@ -1,0 +1,171 @@
+// Tests for the versioned run manifest: schema round-trips, version
+// policy, and end-to-end agreement between the metrics snapshot and the
+// RunResult totals.
+#include "telemetry/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/runner.hpp"
+
+namespace lssim {
+namespace {
+
+RunManifest make_manifest() {
+  RunManifest manifest;
+  manifest.workload = "oltp";
+  manifest.seed = 99;
+  manifest.params["txns_per_proc"] = "500";
+  manifest.params["hot_accounts"] = "16";
+  manifest.machine.num_nodes = 8;
+  manifest.machine.topology = Topology::kRing;
+  manifest.machine.consistency = ConsistencyModel::kPc;
+  manifest.machine.l1.size_bytes = 8192;
+  manifest.machine.classify_false_sharing = true;
+  manifest.wall_seconds = 1.5;
+
+  RunManifest::ProtocolRun run;
+  run.result.protocol = ProtocolKind::kLs;
+  run.result.exec_time = 123456;
+  run.result.time = TimeBreakdown{1000, 2000, 3000};
+  run.result.global_read_misses = 77;
+  run.result.eliminated_acquisitions = 33;
+  run.result.read_miss_home = {1, 2, 3, 4};
+  manifest.runs.push_back(run);
+  return manifest;
+}
+
+TEST(ManifestTest, RoundTripPreservesEveryField) {
+  const RunManifest manifest = make_manifest();
+  std::ostringstream os;
+  write_manifest(os, manifest);
+
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(manifest_from_text(os.str(), &back, &error)) << error;
+
+  EXPECT_EQ(back.schema_version, kManifestSchemaVersion);
+  EXPECT_EQ(back.generator, "lssim");
+  EXPECT_EQ(back.workload, "oltp");
+  EXPECT_EQ(back.seed, 99u);
+  EXPECT_EQ(back.params.at("txns_per_proc"), "500");
+  EXPECT_EQ(back.params.at("hot_accounts"), "16");
+  EXPECT_EQ(back.machine.num_nodes, 8);
+  EXPECT_EQ(back.machine.topology, Topology::kRing);
+  EXPECT_EQ(back.machine.consistency, ConsistencyModel::kPc);
+  EXPECT_EQ(back.machine.l1.size_bytes, 8192u);
+  EXPECT_TRUE(back.machine.classify_false_sharing);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, 1.5);
+
+  ASSERT_EQ(back.runs.size(), 1u);
+  const RunResult& r = back.runs[0].result;
+  EXPECT_EQ(r.protocol, ProtocolKind::kLs);
+  EXPECT_EQ(r.exec_time, 123456u);
+  EXPECT_EQ(r.time.busy, 1000u);
+  EXPECT_EQ(r.time.read_stall, 2000u);
+  EXPECT_EQ(r.time.write_stall, 3000u);
+  EXPECT_EQ(r.global_read_misses, 77u);
+  EXPECT_EQ(r.eliminated_acquisitions, 33u);
+  EXPECT_EQ(r.read_miss_home, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
+}
+
+TEST(ManifestTest, RejectsNewerSchemaVersion) {
+  std::ostringstream os;
+  write_manifest(os, make_manifest());
+  std::string text = os.str();
+  const std::string needle = "\"schema_version\": 1";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "\"schema_version\": 999");
+
+  RunManifest back;
+  std::string error;
+  EXPECT_FALSE(manifest_from_text(text, &back, &error));
+  EXPECT_NE(error.find("newer"), std::string::npos) << error;
+}
+
+TEST(ManifestTest, MissingSchemaVersionIsRejected) {
+  RunManifest back;
+  std::string error;
+  EXPECT_FALSE(manifest_from_text(R"({"runs":[]})", &back, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestTest, UnknownFieldsAreIgnored) {
+  // Additions keep the schema version; older consumers (and this parser)
+  // must skip fields they do not understand.
+  const char* text = R"({
+    "schema_version": 1,
+    "future_field": {"nested": [1, 2, 3]},
+    "workload": "lu",
+    "runs": [{"result": {"protocol": "AD", "exec_cycles": 5,
+                         "another_future_field": true}}]
+  })";
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(manifest_from_text(text, &back, &error)) << error;
+  EXPECT_EQ(back.workload, "lu");
+  ASSERT_EQ(back.runs.size(), 1u);
+  EXPECT_EQ(back.runs[0].result.protocol, ProtocolKind::kAd);
+  EXPECT_EQ(back.runs[0].result.exec_time, 5u);
+}
+
+TEST(ManifestTest, DerivedRatiosAreEmittedForConsumers) {
+  RunResult result;
+  result.protocol = ProtocolKind::kBaseline;
+  result.global_write_actions = 10;
+  result.invalidations = 14;
+  const Json json = run_result_to_json(result);
+  const Json* derived = json.find("derived");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_DOUBLE_EQ(derived->find("invalidations_per_write")->as_double(),
+                   1.4);
+}
+
+// End-to-end acceptance: the manifest's metric snapshot must agree with
+// the RunResult totals for the same run.
+TEST(ManifestTest, EndToEndMetricsAgreeWithRunResult) {
+  DriverOptions options;
+  options.workload = "pingpong";
+  options.protocols = {ProtocolKind::kBaseline, ProtocolKind::kLs};
+  options.manifest_out = "unused";  // Enables metrics capture.
+
+  RunManifest manifest;
+  manifest.workload = options.workload;
+  manifest.seed = options.seed;
+  manifest.machine = options.machine;
+  for (ProtocolKind kind : options.protocols) {
+    DriverRun run = run_driver_workload_captured(options, kind);
+    manifest.runs.push_back(
+        RunManifest::ProtocolRun{run.result, run.metrics});
+  }
+
+  // Round-trip through the serialized form first: agreement must hold on
+  // what a consumer actually reads, not just in memory.
+  std::ostringstream os;
+  write_manifest(os, manifest);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(manifest_from_text(os.str(), &back, &error)) << error;
+
+  ASSERT_EQ(back.runs.size(), 2u);
+  for (const RunManifest::ProtocolRun& run : back.runs) {
+    const RunResult& r = run.result;
+    const MetricsSnapshot& m = run.metrics;
+    ASSERT_FALSE(m.empty());
+    EXPECT_EQ(m.counter_total("coherence.read-miss"), r.global_read_misses);
+    EXPECT_EQ(m.counter_total("coherence.upgrade"),
+              r.ownership_acquisitions);
+    EXPECT_EQ(m.counter_total("coherence.local-write"),
+              r.eliminated_acquisitions);
+    EXPECT_EQ(m.counter_total("sys.accesses"), r.accesses);
+    EXPECT_EQ(m.counter_total("net.messages"), r.traffic_total);
+  }
+  // The LS run must actually have eliminated acquisitions, or the
+  // local-write assertion above is vacuous.
+  EXPECT_GT(back.runs[1].result.eliminated_acquisitions, 0u);
+}
+
+}  // namespace
+}  // namespace lssim

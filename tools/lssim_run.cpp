@@ -1,5 +1,10 @@
 // lssim_run — command-line driver for single simulations and protocol
 // comparisons. See --help (driver_usage in src/driver/options.hpp).
+//
+// Exit codes: 0 success, 1 runtime error (bad workload parameters,
+// invalid machine config), 2 usage error, 3 output I/O failure (results
+// or a --*-out artifact could not be fully written).
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -28,12 +33,34 @@ int main(int argc, char** argv) {
   }
 
   try {
-    std::vector<RunResult> results;
-    results.reserve(options.protocols.size());
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<DriverRun> runs;
+    runs.reserve(options.protocols.size());
     for (ProtocolKind kind : options.protocols) {
-      results.push_back(run_driver_workload(options, kind));
+      runs.push_back(run_driver_workload_captured(options, kind));
+    }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::vector<RunResult> results;
+    results.reserve(runs.size());
+    for (const DriverRun& run : runs) {
+      results.push_back(run.result);
     }
     print_driver_results(std::cout, options, results);
+    // Flush and verify: JSON/CSV output often feeds a pipeline, and a
+    // half-written document must not exit 0.
+    std::cout.flush();
+    if (!std::cout) {
+      std::fprintf(stderr, "lssim_run: failed writing results to stdout\n");
+      return 3;
+    }
+    if (!write_driver_artifacts(options, runs, wall_seconds, &error)) {
+      std::fprintf(stderr, "lssim_run: %s\n", error.c_str());
+      return 3;
+    }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "lssim_run: %s\n", ex.what());
     return 1;
