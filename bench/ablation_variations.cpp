@@ -36,6 +36,8 @@ void run_workload(const char* title, const WorkloadBuilder& build,
       {"LS+detag-hyst2", ProtocolKind::kLs, false, false, 1, 2},
       {"AD", ProtocolKind::kAd},
       {"AD+default-tag", ProtocolKind::kAd, true},
+      {"LS+AD", ProtocolKind::kLsAd},
+      {"LS+AD+keep-lone", ProtocolKind::kLsAd, false, true},
   };
 
   base_cfg.protocol = ProtocolConfig{};

@@ -1,0 +1,62 @@
+// AD policy: adaptive migratory-sharing detection (Stenström, Brorsson &
+// Sandberg, ISCA'93) expressed as CoherencePolicy hooks. Detection and
+// de-detection rules only; the shared transaction engine does the rest.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class AdPolicy final : public CoherencePolicy {
+ public:
+  explicit AdPolicy(const ProtocolConfig& config)
+      : detag_on_replacement_(config.ad_detag_on_replacement) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kAd;
+  }
+
+  /// Migratory detection: at an ownership acquisition (write hit on a
+  /// Shared copy), exactly one other copy exists and it belongs to the
+  /// last writer. Write *misses* carry no read-then-write evidence and
+  /// do not detect; a Dir_iB pointer overflow loses the sharer list and
+  /// blinds the detector.
+  WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
+                                   bool upgrade) override {
+    if (!upgrade || entry.ptr_overflow) {
+      return {};
+    }
+    const std::uint64_t others =
+        entry.sharers & ~(std::uint64_t{1} << writer);
+    if (entry.last_writer != kInvalidNode && entry.last_writer != writer &&
+        others == (std::uint64_t{1} << entry.last_writer)) {
+      return {TagAction::kTag, false};
+    }
+    return {};
+  }
+
+  /// De-detection: a write invalidating several copies is evidence the
+  /// block is read-shared, not migratory.
+  [[nodiscard]] TagAction on_upgrade_invalidations(
+      const DirEntry& entry, int count) const override {
+    (void)entry;
+    return count >= 2 ? TagAction::kDetag : TagAction::kNone;
+  }
+
+  /// The migratory property tracks an *unbroken* hand-off chain: once
+  /// the owning copy is replaced the evidence is gone and the block
+  /// reverts to ordinary (the fragility the LS paper's §3.1 exploits).
+  [[nodiscard]] TagAction on_victim_writeback(
+      const DirEntry& entry, CacheState victim_state) const override {
+    (void)entry;
+    if (detag_on_replacement_ && victim_state != CacheState::kShared) {
+      return TagAction::kDetag;
+    }
+    return TagAction::kNone;
+  }
+
+ private:
+  bool detag_on_replacement_;
+};
+
+}  // namespace lssim

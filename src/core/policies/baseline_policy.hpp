@@ -1,0 +1,22 @@
+// Baseline policy: the DASH-like full-map write-invalidate protocol with
+// no load-store optimization at all. Every hook keeps its default except
+// that blocks are never tagged — reads never return exclusive copies and
+// the §5.5 default_tagged knob does not apply.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class BaselinePolicy final : public CoherencePolicy {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kBaseline;
+  }
+
+  [[nodiscard]] bool supports_default_tagged() const noexcept override {
+    return false;
+  }
+};
+
+}  // namespace lssim

@@ -1,0 +1,51 @@
+// ILS policy: instruction-centric load-exclusive prediction (Kaxiras &
+// Goodman HPCA'99; Nilsson & Dahlgren ICPP'99). All policy state lives
+// in the per-node predictor tables (core/ils_predictor.hpp), keyed by
+// static access site; the directory's tag bit is left alone — which is
+// precisely why the technique struggles on workloads whose sites touch
+// both private and read-shared data.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+#include "core/ils_predictor.hpp"
+
+namespace lssim {
+
+class IlsPolicy final : public CoherencePolicy {
+ public:
+  explicit IlsPolicy(int num_nodes) : predictor_(num_nodes) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kIls;
+  }
+
+  [[nodiscard]] bool observes_accesses() const noexcept override {
+    return true;
+  }
+
+  /// Trains on stores, predicts on loads: a load from a site whose
+  /// confidence passed the threshold requests an exclusive copy.
+  bool observe_access(NodeId node, Addr block, std::uint32_t site,
+                      bool is_write) override {
+    if (is_write) {
+      predictor_.on_store(node, block);
+      return false;
+    }
+    return predictor_.on_load(node, block, site);
+  }
+
+  /// An unused grant (downgraded, invalidated or replaced before the
+  /// owning write) penalises the site that predicted it.
+  void on_exclusive_grant_unused(NodeId node, std::uint32_t site) override {
+    predictor_.on_misprediction(node, site);
+  }
+
+  [[nodiscard]] IlsPredictor* ils_predictor() noexcept override {
+    return &predictor_;
+  }
+
+ private:
+  IlsPredictor predictor_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,71 @@
+// LS+AD hybrid policy: the combination the paper's §6 sketches — LS
+// tagging as the primary rule, with AD's migratory detection as a
+// fallback for read→write pairs the LR field cannot see.
+//
+// Semantics (docs/PROTOCOL.md has the rationale):
+//   * Tag when the LS rule fires (writer == last_reader), OR — at an
+//     ownership upgrade only — when AD's migratory evidence holds
+//     (exactly one other copy, belonging to a different last writer).
+//     The AD fallback catches migratory chains whose read was served
+//     before the home started tracking the sequence (e.g. after a
+//     de-tag), where LS alone would need one more round trip to relearn.
+//   * De-tag on a lone write (LS rule, §5.5 knob respected) and on an
+//     upgrade invalidating several copies (AD's read-shared
+//     de-detection) — the union of both protocols' negative evidence.
+//   * The tag survives replacement of the owning copy: the bit is
+//     home-resident, so LS's robustness wins over AD's fragile hand-off
+//     chain (ad_detag_on_replacement is deliberately ignored).
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class LsAdHybridPolicy final : public CoherencePolicy {
+ public:
+  explicit LsAdHybridPolicy(const ProtocolConfig& config)
+      : keep_tag_on_lone_write_(config.keep_tag_on_lone_write) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kLsAd;
+  }
+
+  WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
+                                   bool upgrade) override {
+    if (entry.last_reader == writer) {
+      return {TagAction::kTag, false};  // LS evidence dominates.
+    }
+    if (upgrade && migratory_evidence(entry, writer)) {
+      return {TagAction::kTag, false};  // AD fallback.
+    }
+    if (!upgrade && !keep_tag_on_lone_write_) {
+      return {TagAction::kDetag, true};
+    }
+    return {};
+  }
+
+  [[nodiscard]] TagAction on_upgrade_invalidations(
+      const DirEntry& entry, int count) const override {
+    (void)entry;
+    return count >= 2 ? TagAction::kDetag : TagAction::kNone;
+  }
+
+ private:
+  /// Stenström's detection, as in AdPolicy: at an upgrade, exactly one
+  /// other copy exists and belongs to the previous writer.
+  [[nodiscard]] static bool migratory_evidence(const DirEntry& entry,
+                                               NodeId writer) noexcept {
+    if (entry.ptr_overflow) {
+      return false;  // Dir_iB lost the sharer list: no evidence.
+    }
+    const std::uint64_t others =
+        entry.sharers & ~(std::uint64_t{1} << writer);
+    return entry.last_writer != kInvalidNode &&
+           entry.last_writer != writer &&
+           others == (std::uint64_t{1} << entry.last_writer);
+  }
+
+  bool keep_tag_on_lone_write_;
+};
+
+}  // namespace lssim

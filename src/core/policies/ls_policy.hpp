@@ -1,0 +1,41 @@
+// LS policy: the paper's load-store protocol extension (§3.1). The home
+// tags a block when an ownership request's source equals the LR (last
+// reader) field; a write miss not preceded by the writer's own read
+// de-tags it (unless the §5.5 keep heuristic is on). The LS bit lives at
+// the home and survives replacements — the key robustness advantage over
+// AD's cache-resident hand-off chain.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class LsPolicy final : public CoherencePolicy {
+ public:
+  explicit LsPolicy(const ProtocolConfig& config)
+      : keep_tag_on_lone_write_(config.keep_tag_on_lone_write) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kLs;
+  }
+
+  /// Paper §3.1: an ownership request whose source equals the LR field
+  /// tags the block; a write request not preceded by a read from the
+  /// same processor de-tags it. Works for upgrades *and* for write
+  /// misses after the reading copy was evicted — unlike AD.
+  WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
+                                   bool upgrade) override {
+    if (entry.last_reader == writer) {
+      return {TagAction::kTag, false};
+    }
+    if (!upgrade && !keep_tag_on_lone_write_) {
+      return {TagAction::kDetag, true};
+    }
+    return {};
+  }
+
+ private:
+  bool keep_tag_on_lone_write_;
+};
+
+}  // namespace lssim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/protocol_registry.hpp"
+
 namespace lssim {
 
 MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
@@ -11,13 +13,14 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
       lat_(config.latency),
       space_(space),
       stats_(stats),
+      policy_(make_policy(config)),
+      policy_observes_accesses_(policy_->observes_accesses()),
       net_(config.num_nodes, config.latency, stats, config.topology,
            telemetry != nullptr ? telemetry->metrics() : nullptr),
       dir_(config.protocol.default_tagged &&
-           config.protocol.kind != ProtocolKind::kBaseline),
+           policy_->supports_default_tagged()),
       fs_(config.classify_false_sharing, stats),
       oracle_(true),
-      ils_(config.num_nodes),
       log_(config.event_log_capacity),
       metrics_(telemetry != nullptr ? telemetry->metrics() : nullptr),
       trace_(telemetry != nullptr ? telemetry->trace() : nullptr) {
@@ -43,6 +46,8 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
     }
   }
 }
+
+MemorySystem::~MemorySystem() = default;
 
 Cycles MemorySystem::leg(NodeId src, NodeId dst, MsgType type, Cycles t) {
   t += lat_.controller;  // Egress through the sender's controller.
@@ -132,44 +137,16 @@ void MemorySystem::detag_event(DirEntry& entry) {
   }
 }
 
-void MemorySystem::apply_write_tag_rules(DirEntry& e, NodeId writer,
-                                         bool upgrade,
-                                         bool* detagged_by_lone_write) {
-  *detagged_by_lone_write = false;
-  switch (cfg_.protocol.kind) {
-    case ProtocolKind::kBaseline:
-    case ProtocolKind::kIls:  // Policy lives in the per-node predictor.
+void MemorySystem::apply_tag_action(TagAction action, DirEntry& entry) {
+  switch (action) {
+    case TagAction::kNone:
       break;
-    case ProtocolKind::kLs:
-      // Paper §3.1: an ownership request whose source equals the LR field
-      // tags the block; a write request not preceded by a read from the
-      // same processor de-tags it (unless the §5.5 keep heuristic is on).
-      if (e.last_reader == writer) {
-        tag_event(e);
-      } else if (!upgrade && !cfg_.protocol.keep_tag_on_lone_write) {
-        detag_event(e);
-        *detagged_by_lone_write = true;
-      }
+    case TagAction::kTag:
+      tag_event(entry);
       break;
-    case ProtocolKind::kAd: {
-      // Migratory detection (Stenström et al. '93): at an ownership
-      // acquisition (write hit on a Shared copy), exactly one other copy
-      // exists and it belongs to the last writer. Write *misses* carry no
-      // read-then-write evidence and do not detect.
-      if (!upgrade) {
-        break;
-      }
-      if (e.ptr_overflow) {
-        break;  // Dir_iB lost the sharer list: no migratory evidence.
-      }
-      const std::uint64_t others =
-          e.sharers & ~(std::uint64_t{1} << writer);
-      if (e.last_writer != kInvalidNode && e.last_writer != writer &&
-          others == (std::uint64_t{1} << e.last_writer)) {
-        tag_event(e);
-      }
+    case TagAction::kDetag:
+      detag_event(entry);
       break;
-    }
   }
 }
 
@@ -205,15 +182,10 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
   const Addr block = victim.block;
   const NodeId home = space_.home_of(block);
   DirEntry& e = dir_.entry(block);
-  // AD's migratory property tracks an *unbroken* hand-off chain: once the
-  // owning copy is replaced the evidence is gone and the block reverts to
-  // ordinary (this is exactly the fragility the LS paper exploits, §3.1).
-  // LS instead keeps the LS bit across replacements by design.
-  if (cfg_.protocol.kind == ProtocolKind::kAd &&
-      cfg_.protocol.ad_detag_on_replacement &&
-      victim.state != CacheState::kShared) {
-    detag_event(e);
-  }
+  // Policy decision: does replacing this copy drop the tag? (AD's
+  // migratory hand-off chain breaks here; LS's home-resident bit and the
+  // LS+AD hybrid survive replacements by design.)
+  apply_tag_action(policy_->on_victim_writeback(e, victim.state), e);
   switch (victim.state) {
     case CacheState::kShared:
       assert(e.state == DirState::kShared && e.is_sharer(node));
@@ -243,9 +215,7 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
       // Paper §3.1 case 3: replacement before the write; the home keeps
       // the current LS-bit value. Under ILS the unused grant penalises
       // the predicting site.
-      if (cfg_.protocol.kind == ProtocolKind::kIls) {
-        ils_.on_misprediction(node, victim.grant_site);
-      }
+      policy_->on_exclusive_grant_unused(node, victim.grant_site);
       assert(e.state == DirState::kExcl && e.owner == node);
       e.state = DirState::kUncached;
       e.owner = kInvalidNode;
@@ -266,7 +236,8 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
   DirEntry& e = dir_.entry(block);
   // Exclusive read replies: data-centric (home tag, LS/AD) or
   // instruction-centric (requester-side prediction, ILS).
-  const bool want_exclusive = e.tagged || predicted_exclusive;
+  const bool want_exclusive =
+      policy_->read_grants_exclusive(e, predicted_exclusive);
 
   stats_.global_read_misses += 1;
   stats_.data_misses += 1;
@@ -326,11 +297,10 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
         // Owner's copy downgrades to Shared; home de-tags via NotLS (and
         // under ILS the granting site is penalised).
         t += lat_.l2_access;
-        if (cfg_.protocol.kind == ProtocolKind::kIls) {
-          ils_.on_misprediction(owner, oc.l2().find(block)->grant_site);
-        }
+        policy_->on_exclusive_grant_unused(owner,
+                                           oc.l2().find(block)->grant_site);
         oc.set_state(block, CacheState::kShared);
-        detag_event(e);
+        apply_tag_action(policy_->on_foreign_access(e), e);
         stats_.notls_messages += 1;
         log_.record(now, ProtoEventKind::kNotLs, block, owner, e.state,
                     e.tagged);
@@ -407,8 +377,12 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
     count_event(node, ProtoEventKind::kWriteMiss);
   }
 
-  bool lone_write_detag = false;
-  apply_write_tag_rules(e, node, upgrade, &lone_write_detag);
+  // Policy tag rules run on the pre-transition entry (paper §3.1 reads
+  // the LR field and the sharer set as they were at the request).
+  const WriteTagDecision tag_decision =
+      policy_->on_global_write(e, node, upgrade);
+  apply_tag_action(tag_decision.action, e);
+  const bool lone_write_detag = tag_decision.lone_write_detag;
   oracle_.on_global_write(node, block, /*eliminated=*/false, current_tag_);
   e.last_writer = node;
   // A write by anyone consumes the LR field: a later write can only be
@@ -443,11 +417,9 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
                       ~(std::uint64_t{1} << node);
     }
     const int count = __builtin_popcountll(others);
-    if (cfg_.protocol.kind == ProtocolKind::kAd && count >= 2) {
-      // Stenström's de-detection: a write invalidating several copies is
-      // evidence the block is read-shared, not migratory.
-      detag_event(e);
-    }
+    // AD-style de-detection: a write invalidating several copies is
+    // evidence the block is read-shared, not migratory.
+    apply_tag_action(policy_->on_upgrade_invalidations(e, count), e);
     stats_.invalidations_sent += static_cast<std::uint64_t>(count);
     if (count == 1) {
       stats_.single_invalidations += 1;
@@ -521,12 +493,10 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
         if (op.state == CacheState::kLStemp) {
           // Paper §3.1 case 2 (foreign write): de-tag, unless the lone-
           // write rule above already consumed this event.
-          if (cfg_.protocol.kind == ProtocolKind::kIls) {
-            ils_.on_misprediction(
-                owner, caches_[owner].l2().find(block)->grant_site);
-          }
+          policy_->on_exclusive_grant_unused(
+              owner, caches_[owner].l2().find(block)->grant_site);
           if (!lone_write_detag) {
-            detag_event(e);
+            apply_tag_action(policy_->on_foreign_access(e), e);
           }
           t2 += lat_.l2_access;
         } else {
@@ -574,12 +544,9 @@ AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
   const ProbeResult probe = ch.probe(block);
 
   bool predicted_exclusive = false;
-  if (cfg_.protocol.kind == ProtocolKind::kIls) {
-    if (is_write) {
-      ils_.on_store(node, block);
-    } else {
-      predicted_exclusive = ils_.on_load(node, block, req.site);
-    }
+  if (policy_observes_accesses_) {
+    predicted_exclusive =
+        policy_->observe_access(node, block, req.site, is_write);
   }
 
   if (probe.l2_hit && (!is_write || probe.state == CacheState::kModified ||

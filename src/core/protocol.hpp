@@ -1,14 +1,15 @@
-// The memory-system protocol engine: caches + directory + network glued
-// into atomic, synchronously executed coherence transactions.
+// The memory-system transaction engine: caches + directory + network
+// glued into atomic, synchronously executed coherence transactions.
 //
-// This is the core of the reproduction. One engine implements all three
-// techniques (paper §2.1, §3.1):
-//   * Baseline — DASH-like full-map write-invalidate, 4-hop read-on-dirty.
-//   * AD       — adaptive migratory detection (Stenström et al. '93).
-//   * LS       — the paper's load-store extension.
-// The techniques differ only in when a block gets tagged/de-tagged and in
-// whether reads of tagged blocks return exclusive (LStemp) copies; the
-// transaction mechanics are shared.
+// This is the core of the reproduction. One protocol-agnostic engine
+// implements the shared transaction mechanics (paper §2.1, §3.1): message
+// legs, the directory state machine, invalidation fan-out and latency
+// composition. Everything protocol-specific — when a block gets tagged or
+// de-tagged, whether a read of a tagged block returns an exclusive
+// (LStemp) copy, predictor training — is delegated to a CoherencePolicy
+// (core/coherence_policy.hpp) resolved from the protocol registry:
+// Baseline, AD, LS, ILS and the LS+AD hybrid all run through the exact
+// same engine code.
 //
 // Because the simulated machine is sequentially consistent and processors
 // stall on every L2 miss (paper §4.2), each access can be executed as one
@@ -20,9 +21,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "core/coherence_policy.hpp"
 #include "core/directory.hpp"
 #include "mem/address_space.hpp"
 #include "net/network.hpp"
@@ -80,6 +83,7 @@ class MemorySystem {
   /// single branch.
   MemorySystem(const MachineConfig& config, AddressSpace& space,
                Stats& stats, Telemetry* telemetry = nullptr);
+  ~MemorySystem();
 
   /// Executes one access atomically at simulated time `now`.
   AccessResult access(NodeId node, const AccessRequest& req, Cycles now);
@@ -90,7 +94,13 @@ class MemorySystem {
 
   [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] LoadStoreOracle& oracle() noexcept { return oracle_; }
-  [[nodiscard]] IlsPredictor& predictor() noexcept { return ils_; }
+  /// The protocol policy driving this engine's tag/grant decisions.
+  [[nodiscard]] CoherencePolicy& policy() noexcept { return *policy_; }
+  /// ILS's per-node predictor tables; only valid when the active policy
+  /// is instruction-centric (policy().ils_predictor() != nullptr).
+  [[nodiscard]] IlsPredictor& predictor() noexcept {
+    return *policy_->ils_predictor();
+  }
   [[nodiscard]] const EventLog& event_log() const noexcept { return log_; }
   [[nodiscard]] FalseSharingClassifier& classifier() noexcept { return fs_; }
   [[nodiscard]] Network& network() noexcept { return net_; }
@@ -140,8 +150,8 @@ class MemorySystem {
 
   void tag_event(DirEntry& entry);
   void detag_event(DirEntry& entry);
-  void apply_write_tag_rules(DirEntry& entry, NodeId writer, bool upgrade,
-                             bool* detagged_by_lone_write);
+  /// Applies a policy decision through the tag/de-tag machinery.
+  void apply_tag_action(TagAction action, DirEntry& entry);
 
   [[nodiscard]] HomeStateAtMiss classify_home_state(Addr block,
                                                     const DirEntry& e) const;
@@ -153,12 +163,17 @@ class MemorySystem {
   LatencyConfig lat_;
   AddressSpace& space_;
   Stats& stats_;
+  /// The pluggable protocol policy (declared before dir_: the directory's
+  /// default-tagged knob asks the policy whether tagging applies at all).
+  std::unique_ptr<CoherencePolicy> policy_;
+  /// Cached policy_->observes_accesses() so passive policies keep the
+  /// L1-hit fast path free of virtual dispatch.
+  bool policy_observes_accesses_ = false;
   Network net_;
   Directory dir_;
   std::vector<CacheHierarchy> caches_;
   FalseSharingClassifier fs_;
   LoadStoreOracle oracle_;
-  IlsPredictor ils_;
   EventLog log_;
   // Observability (null when disabled; see src/telemetry/).
   MetricsRegistry* metrics_ = nullptr;

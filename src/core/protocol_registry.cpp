@@ -1,0 +1,92 @@
+#include "core/protocol_registry.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/policies/ad_policy.hpp"
+#include "core/policies/baseline_policy.hpp"
+#include "core/policies/ils_policy.hpp"
+#include "core/policies/ls_ad_hybrid_policy.hpp"
+#include "core/policies/ls_policy.hpp"
+
+namespace lssim {
+namespace {
+
+template <typename Policy>
+std::unique_ptr<CoherencePolicy> make_from_protocol(
+    const MachineConfig& config) {
+  return std::make_unique<Policy>(config.protocol);
+}
+
+std::unique_ptr<CoherencePolicy> make_baseline(const MachineConfig&) {
+  return std::make_unique<BaselinePolicy>();
+}
+
+std::unique_ptr<CoherencePolicy> make_ils(const MachineConfig& config) {
+  return std::make_unique<IlsPolicy>(config.num_nodes);
+}
+
+// THE registration site: one row per protocol, in ProtocolKind order.
+// Names come from the shared table in sim/config.hpp so that parsing
+// (protocol_from_name) and printing (protocol_name) stay in lock-step.
+const ProtocolInfo kRegistry[kNumProtocolKinds] = {
+    {ProtocolKind::kBaseline, protocol_name(ProtocolKind::kBaseline),
+     "DASH-like full-map write-invalidate (no load-store optimization)",
+     &make_baseline},
+    {ProtocolKind::kAd, protocol_name(ProtocolKind::kAd),
+     "adaptive migratory detection (Stenström et al., ISCA'93)",
+     &make_from_protocol<AdPolicy>},
+    {ProtocolKind::kLs, protocol_name(ProtocolKind::kLs),
+     "the paper's load-store extension (home-resident LS bit)",
+     &make_from_protocol<LsPolicy>},
+    {ProtocolKind::kIls, protocol_name(ProtocolKind::kIls),
+     "instruction-centric load-exclusive prediction (per-site tables)",
+     &make_ils},
+    {ProtocolKind::kLsAd, protocol_name(ProtocolKind::kLsAd),
+     "LS tagging with AD's migratory fallback (paper §6 combination)",
+     &make_from_protocol<LsAdHybridPolicy>},
+};
+
+}  // namespace
+
+std::span<const ProtocolInfo> registered_protocols() { return kRegistry; }
+
+const ProtocolInfo& protocol_info(ProtocolKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  assert(index < std::size(kRegistry) && kRegistry[index].kind == kind);
+  return kRegistry[index];
+}
+
+const ProtocolInfo* find_protocol(std::string_view name) {
+  ProtocolKind kind;
+  if (!protocol_from_name(name, &kind)) {
+    return nullptr;
+  }
+  return &protocol_info(kind);
+}
+
+std::string registered_protocol_names(const char* separator) {
+  std::string names;
+  for (const ProtocolInfo& info : kRegistry) {
+    if (!names.empty()) {
+      names += separator;
+    }
+    names += info.name;
+  }
+  return names;
+}
+
+std::vector<ProtocolKind> all_protocol_kinds() {
+  std::vector<ProtocolKind> kinds;
+  kinds.reserve(std::size(kRegistry));
+  for (const ProtocolInfo& info : kRegistry) {
+    kinds.push_back(info.kind);
+  }
+  return kinds;
+}
+
+std::unique_ptr<CoherencePolicy> make_policy(const MachineConfig& config) {
+  return protocol_info(config.protocol.kind).make(config);
+}
+
+}  // namespace lssim

@@ -4,6 +4,9 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "core/protocol_registry.hpp"
+#include "driver/runner.hpp"
+
 namespace lssim {
 namespace {
 
@@ -44,18 +47,13 @@ bool parse_size(const std::string& text, std::uint64_t* out) {
 }
 
 bool parse_protocol(const std::string& text, ProtocolKind* out) {
-  const std::string name = lower(text);
-  if (name == "baseline" || name == "base" || name == "wi") {
-    *out = ProtocolKind::kBaseline;
-  } else if (name == "ad" || name == "migratory") {
-    *out = ProtocolKind::kAd;
-  } else if (name == "ls") {
-    *out = ProtocolKind::kLs;
-  } else if (name == "ils" || name == "instruction") {
-    *out = ProtocolKind::kIls;
-  } else {
+  // Single naming table: the registry resolves canonical names and
+  // aliases case-insensitively, so parsing round-trips to_string exactly.
+  const ProtocolInfo* info = find_protocol(text);
+  if (info == nullptr) {
     return false;
   }
+  *out = info->kind;
   return true;
 }
 
@@ -74,12 +72,19 @@ bool parse_topology(const std::string& text, Topology* out) {
 }
 
 std::string driver_usage() {
-  return R"(lssim_run — run one workload on the simulated CC-NUMA machine
-
-  --workload W       mp3d | cholesky | lu | oltp | radix | stencil |
-                     pingpong | private | readmostly  (default pingpong)
-  --protocol P       baseline | ad | ls | ils         (default baseline)
-  --compare          run all four protocols, normalized to Baseline
+  return "lssim_run — run one workload on the simulated CC-NUMA machine\n"
+         "\n"
+         "  --workload W       mp3d | cholesky | lu | oltp | radix | "
+         "stencil |\n"
+         "                     pingpong | private | readmostly  "
+         "(default pingpong)\n"
+         "  --protocol P       " +
+         registered_protocol_names(" | ") +
+         "\n"
+         "                     (default Baseline, case-insensitive)\n"
+         "  --compare          run every registered protocol, normalized "
+         "to Baseline" +
+         R"(
   --procs N          processors (1..64, default 4)
   --l1 SIZE          L1 capacity, e.g. 4k             (default per paper)
   --l2 SIZE          L2 capacity, e.g. 64k
@@ -127,26 +132,15 @@ bool parse_driver_args(int argc, const char* const* argv,
       if (!need_value(i, &value)) return false;
       ProtocolKind kind;
       if (!parse_protocol(value, &kind)) {
-        *error = "unknown protocol: " + value;
+        *error = "unknown protocol: " + value +
+                 " (registered: " + registered_protocol_names() + ")";
         return false;
       }
       options->protocols = {kind};
     } else if (arg == "--protocols") {
       if (!need_value(i, &value)) return false;
       std::vector<ProtocolKind> kinds;
-      std::size_t start = 0;
-      while (start <= value.size()) {
-        std::size_t comma = value.find(',', start);
-        if (comma == std::string::npos) comma = value.size();
-        const std::string name = value.substr(start, comma - start);
-        ProtocolKind kind;
-        if (name.empty() || !parse_protocol(name, &kind)) {
-          *error = "bad --protocols entry: '" + name + "' in " + value;
-          return false;
-        }
-        kinds.push_back(kind);
-        start = comma + 1;
-      }
+      if (!resolve_protocol_list(value, &kinds, error)) return false;
       options->protocols = std::move(kinds);
     } else if (arg == "--metrics-out") {
       if (!need_value(i, &value)) return false;
@@ -167,8 +161,7 @@ bool parse_driver_args(int argc, const char* const* argv,
       options->trace_capacity = static_cast<std::size_t>(n);
     } else if (arg == "--compare") {
       options->compare = true;
-      options->protocols = {ProtocolKind::kBaseline, ProtocolKind::kAd,
-                            ProtocolKind::kLs, ProtocolKind::kIls};
+      options->protocols = all_protocol_kinds();
     } else if (arg == "--procs") {
       if (!need_value(i, &value)) return false;
       std::uint64_t n = 0;

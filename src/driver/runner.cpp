@@ -1,5 +1,6 @@
 #include "driver/runner.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -7,6 +8,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/protocol_registry.hpp"
 #include "stats/report.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/perfetto.hpp"
@@ -67,6 +69,30 @@ bool driver_knows_workload(const std::string& name) {
   return name == "mp3d" || name == "cholesky" || name == "lu" ||
          name == "oltp" || name == "radix" || name == "stencil" ||
          name == "pingpong" || name == "private" || name == "readmostly";
+}
+
+bool resolve_protocol_list(const std::string& csv,
+                           std::vector<ProtocolKind>* out,
+                           std::string* error) {
+  std::vector<ProtocolKind> kinds;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string name = csv.substr(start, comma - start);
+    const ProtocolInfo* info = find_protocol(name);
+    if (info == nullptr) {
+      *error = "unknown protocol '" + name + "' in --protocols " + csv +
+               " (registered: " + registered_protocol_names() + ")";
+      return false;
+    }
+    if (std::find(kinds.begin(), kinds.end(), info->kind) == kinds.end()) {
+      kinds.push_back(info->kind);
+    }
+    start = comma + 1;
+  }
+  *out = std::move(kinds);
+  return true;
 }
 
 WorkloadBuilder make_driver_builder(const DriverOptions& options) {

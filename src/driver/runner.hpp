@@ -15,6 +15,16 @@ namespace lssim {
 /// True if `name` names a workload the driver can build.
 [[nodiscard]] bool driver_knows_workload(const std::string& name);
 
+/// Resolves a comma-separated protocol list (e.g. "baseline,LS,ls+ad")
+/// through the protocol registry. Names match case-insensitively
+/// (canonical names or aliases); duplicates are dropped, keeping the
+/// first occurrence's position. On an empty element or unknown name,
+/// returns false and sets `*error` to a message listing the registered
+/// protocol names.
+bool resolve_protocol_list(const std::string& csv,
+                           std::vector<ProtocolKind>* out,
+                           std::string* error);
+
 /// Builds the WorkloadBuilder for `options.workload` with its --set
 /// parameters applied; throws std::invalid_argument on unknown workloads
 /// or parameters. Useful for callers that own their System (tracing).

@@ -14,9 +14,11 @@
 
 #include "cache/cache.hpp"
 #include "cache/hierarchy.hpp"
+#include "core/coherence_policy.hpp"
 #include "core/directory.hpp"
 #include "core/ils_predictor.hpp"
 #include "core/protocol.hpp"
+#include "core/protocol_registry.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 #include "machine/processor.hpp"

@@ -4,12 +4,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/types.hpp"
 
 namespace lssim {
 
-/// Which coherence technique the memory system runs.
+/// Which coherence technique the memory system runs. Each kind is backed
+/// by a CoherencePolicy implementation (src/core/policies/) resolved
+/// through the protocol registry (src/core/protocol_registry.hpp).
 ///   kBaseline — DASH-like full-map write-invalidate protocol.
 ///   kAd       — adaptive migratory-sharing optimization
 ///               (Stenström/Brorsson/Sandberg, ISCA'93); the paper's "AD".
@@ -18,16 +21,42 @@ namespace lssim {
 ///               work: Kaxiras/Goodman HPCA'99, Nilsson/Dahlgren
 ///               ICPP'99); an extension for comparison, see
 ///               core/ils_predictor.hpp.
-enum class ProtocolKind : std::uint8_t { kBaseline, kAd, kLs, kIls };
+///   kLsAd     — LS tagging with AD's migratory detection as fallback
+///               (the paper's §6 combination; see
+///               core/policies/ls_ad_hybrid_policy.hpp).
+enum class ProtocolKind : std::uint8_t { kBaseline, kAd, kLs, kIls, kLsAd };
 
-[[nodiscard]] constexpr const char* to_string(ProtocolKind kind) noexcept {
-  switch (kind) {
-    case ProtocolKind::kBaseline: return "Baseline";
-    case ProtocolKind::kAd: return "AD";
-    case ProtocolKind::kLs: return "LS";
-    case ProtocolKind::kIls: return "ILS";
-  }
-  return "?";
+inline constexpr int kNumProtocolKinds = 5;
+
+/// One row of the protocol-name table: the canonical name (printed by
+/// reports, manifests and to_string) plus the lowercase aliases the CLI
+/// accepts. This is THE naming table: the protocol registry, the driver's
+/// --protocol(s) parsing and the manifest reader all resolve through it,
+/// so names round-trip exactly and adding a protocol means adding one row
+/// here plus one registration in core/protocol_registry.cpp.
+struct ProtocolNameEntry {
+  ProtocolKind kind;
+  const char* name;     ///< Canonical, e.g. "LS+AD".
+  const char* aliases;  ///< Space-separated lowercase extras ("" = none).
+};
+
+inline constexpr ProtocolNameEntry kProtocolNameTable[kNumProtocolKinds] = {
+    {ProtocolKind::kBaseline, "Baseline", "base wi"},
+    {ProtocolKind::kAd, "AD", "migratory"},
+    {ProtocolKind::kLs, "LS", ""},
+    {ProtocolKind::kIls, "ILS", "instruction"},
+    {ProtocolKind::kLsAd, "LS+AD", "lsad ls-ad hybrid"},
+};
+
+/// Canonical display name of `kind` (the table's `name` column).
+[[nodiscard]] const char* protocol_name(ProtocolKind kind) noexcept;
+
+/// Inverse of protocol_name: resolves a canonical name or alias
+/// (case-insensitive) back to the kind. Returns false on unknown names.
+bool protocol_from_name(std::string_view text, ProtocolKind* out) noexcept;
+
+[[nodiscard]] inline const char* to_string(ProtocolKind kind) noexcept {
+  return protocol_name(kind);
 }
 
 /// Geometry of one cache level. Sizes in bytes; direct-mapped is assoc 1.

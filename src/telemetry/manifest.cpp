@@ -5,21 +5,6 @@
 namespace lssim {
 namespace {
 
-bool protocol_from_string(const std::string& name, ProtocolKind* out) {
-  if (name == "Baseline") {
-    *out = ProtocolKind::kBaseline;
-  } else if (name == "AD") {
-    *out = ProtocolKind::kAd;
-  } else if (name == "LS") {
-    *out = ProtocolKind::kLs;
-  } else if (name == "ILS") {
-    *out = ProtocolKind::kIls;
-  } else {
-    return false;
-  }
-  return true;
-}
-
 bool topology_from_string(const std::string& name, Topology* out) {
   if (name == "crossbar") {
     *out = Topology::kCrossbar;
@@ -89,6 +74,7 @@ bool cache_config_from_json(const Json& json, CacheConfig* out,
 
 Json machine_to_json(const MachineConfig& machine) {
   Json::Object o;
+  o.emplace_back("protocol", Json(protocol_name(machine.protocol.kind)));
   o.emplace_back("num_nodes", Json(machine.num_nodes));
   o.emplace_back("page_bytes", Json(machine.page_bytes));
   o.emplace_back("l1", cache_config_to_json(machine.l1));
@@ -108,6 +94,13 @@ bool machine_from_json(const Json& json, MachineConfig* out,
     return false;
   };
   if (!json.is_object()) return fail("machine config must be an object");
+  // Absent in schema-version-1 documents; parsed by registry name since 2.
+  if (const Json* proto = json.find("protocol"); proto != nullptr) {
+    if (!proto->is_string() ||
+        !protocol_from_name(proto->as_string(), &out->protocol.kind)) {
+      return fail("unknown protocol name in machine config");
+    }
+  }
   std::uint64_t nodes = static_cast<std::uint64_t>(out->num_nodes);
   if (!read_u64(json, "num_nodes", &nodes, error)) return false;
   out->num_nodes = static_cast<int>(nodes);
@@ -197,7 +190,7 @@ bool run_result_from_json(const Json& json, RunResult* out,
   *out = RunResult{};
   if (const Json* proto = json.find("protocol");
       proto != nullptr && proto->is_string()) {
-    if (!protocol_from_string(proto->as_string(), &out->protocol)) {
+    if (!protocol_from_name(proto->as_string(), &out->protocol)) {
       return fail("unknown protocol name");
     }
   }

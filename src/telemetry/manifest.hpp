@@ -10,6 +10,12 @@
 // Schema versioning policy (docs/OBSERVABILITY.md): `schema_version` is
 // bumped on any field removal or meaning change; pure additions keep the
 // version. Consumers must ignore unknown fields.
+//
+// Version history:
+//   1 — initial schema.
+//   2 — machine object records the configured `protocol` by registry name;
+//       protocol names everywhere resolve through the protocol registry
+//       (adds LS+AD). Version-1 documents still parse.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +32,7 @@
 
 namespace lssim {
 
-inline constexpr std::uint32_t kManifestSchemaVersion = 1;
+inline constexpr std::uint32_t kManifestSchemaVersion = 2;
 
 struct RunManifest {
   struct ProtocolRun {

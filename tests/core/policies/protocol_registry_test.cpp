@@ -1,0 +1,86 @@
+// The name-keyed protocol registry: complete coverage of every
+// ProtocolKind, exact name round-trips with sim/config's shared table,
+// case-insensitive alias lookup, and working factories.
+#include "core/protocol_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ils_predictor.hpp"
+
+namespace lssim {
+namespace {
+
+TEST(ProtocolRegistryTest, EveryKindIsRegisteredInEnumOrder) {
+  const auto protocols = registered_protocols();
+  ASSERT_EQ(protocols.size(), static_cast<std::size_t>(kNumProtocolKinds));
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    const ProtocolInfo& info = protocols[i];
+    EXPECT_EQ(static_cast<std::size_t>(info.kind), i);
+    EXPECT_STREQ(info.name, protocol_name(info.kind));
+    EXPECT_NE(info.summary, nullptr);
+    EXPECT_NE(info.summary[0], '\0') << info.name;
+    ASSERT_NE(info.make, nullptr) << info.name;
+  }
+}
+
+TEST(ProtocolRegistryTest, FactoriesBuildTheMatchingPolicy) {
+  for (const ProtocolInfo& info : registered_protocols()) {
+    MachineConfig cfg;
+    cfg.protocol.kind = info.kind;
+    const auto policy = info.make(cfg);
+    ASSERT_NE(policy, nullptr) << info.name;
+    EXPECT_EQ(policy->kind(), info.kind) << info.name;
+  }
+}
+
+TEST(ProtocolRegistryTest, MakePolicyResolvesTheConfiguredKind) {
+  MachineConfig cfg;
+  cfg.protocol.kind = ProtocolKind::kLsAd;
+  EXPECT_EQ(make_policy(cfg)->kind(), ProtocolKind::kLsAd);
+  cfg.protocol.kind = ProtocolKind::kIls;
+  const auto ils = make_policy(cfg);
+  EXPECT_EQ(ils->kind(), ProtocolKind::kIls);
+  EXPECT_NE(ils->ils_predictor(), nullptr);
+}
+
+TEST(ProtocolRegistryTest, FindProtocolMatchesNamesAndAliases) {
+  // Canonical names, any case.
+  for (const ProtocolInfo& info : registered_protocols()) {
+    const ProtocolInfo* found = find_protocol(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->kind, info.kind);
+  }
+  EXPECT_EQ(find_protocol("baseline")->kind, ProtocolKind::kBaseline);
+  EXPECT_EQ(find_protocol("BASELINE")->kind, ProtocolKind::kBaseline);
+  EXPECT_EQ(find_protocol("wi")->kind, ProtocolKind::kBaseline);
+  EXPECT_EQ(find_protocol("migratory")->kind, ProtocolKind::kAd);
+  EXPECT_EQ(find_protocol("instruction")->kind, ProtocolKind::kIls);
+  EXPECT_EQ(find_protocol("ls+ad")->kind, ProtocolKind::kLsAd);
+  EXPECT_EQ(find_protocol("LS-AD")->kind, ProtocolKind::kLsAd);
+  EXPECT_EQ(find_protocol("hybrid")->kind, ProtocolKind::kLsAd);
+  EXPECT_EQ(find_protocol(""), nullptr);
+  EXPECT_EQ(find_protocol("mesif"), nullptr);
+}
+
+TEST(ProtocolRegistryTest, ProtocolInfoByKind) {
+  const ProtocolInfo& info = protocol_info(ProtocolKind::kLsAd);
+  EXPECT_EQ(info.kind, ProtocolKind::kLsAd);
+  EXPECT_STREQ(info.name, "LS+AD");
+}
+
+TEST(ProtocolRegistryTest, RegisteredNamesJoinInOrder) {
+  EXPECT_EQ(registered_protocol_names(), "Baseline, AD, LS, ILS, LS+AD");
+  EXPECT_EQ(registered_protocol_names(" | "),
+            "Baseline | AD | LS | ILS | LS+AD");
+}
+
+TEST(ProtocolRegistryTest, AllProtocolKindsInRegistryOrder) {
+  const std::vector<ProtocolKind> kinds = all_protocol_kinds();
+  ASSERT_EQ(kinds.size(), static_cast<std::size_t>(kNumProtocolKinds));
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(kinds[i]), i);
+  }
+}
+
+}  // namespace
+}  // namespace lssim

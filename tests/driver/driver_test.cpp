@@ -53,11 +53,36 @@ TEST(DriverOptions, FullCommandLine) {
   EXPECT_EQ(options.format, OutputFormat::kCsv);
 }
 
-TEST(DriverOptions, CompareSelectsAllProtocols) {
+TEST(DriverOptions, CompareSelectsAllRegisteredProtocols) {
   DriverOptions options;
   std::string error;
   ASSERT_TRUE(parse({"--compare"}, &options, &error));
-  EXPECT_EQ(options.protocols.size(), 4u);
+  EXPECT_EQ(options.protocols.size(),
+            static_cast<std::size_t>(kNumProtocolKinds));
+  EXPECT_EQ(options.protocols.front(), ProtocolKind::kBaseline);
+  EXPECT_EQ(options.protocols.back(), ProtocolKind::kLsAd);
+}
+
+TEST(DriverOptions, ProtocolsListResolvesAliasesAndDedupes) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--protocols", "baseline,LS,ls,migratory,Ls+Ad"},
+                    &options, &error))
+      << error;
+  const std::vector<ProtocolKind> expected{
+      ProtocolKind::kBaseline, ProtocolKind::kLs, ProtocolKind::kAd,
+      ProtocolKind::kLsAd};
+  EXPECT_EQ(options.protocols, expected);
+}
+
+TEST(DriverOptions, UnknownProtocolListsRegisteredNames) {
+  DriverOptions options;
+  std::string error;
+  EXPECT_FALSE(parse({"--protocols", "Baseline,mesif"}, &options, &error));
+  EXPECT_NE(error.find("mesif"), std::string::npos) << error;
+  for (const char* name : {"Baseline", "AD", "LS", "ILS", "LS+AD"}) {
+    EXPECT_NE(error.find(name), std::string::npos) << error;
+  }
 }
 
 TEST(DriverOptions, RejectsUnknownArgument) {

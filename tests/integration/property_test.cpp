@@ -121,10 +121,17 @@ INSTANTIATE_TEST_SUITE_P(
         Variant{ProtocolKind::kLs, 16, 2048, true, 1, 1},
         Variant{ProtocolKind::kLs, 16, 2048, false, 2, 2},
         Variant{ProtocolKind::kLs, 32, 8192, true, 2, 1},
-        Variant{ProtocolKind::kLs, 128, 8192, false, 1, 2}),
+        Variant{ProtocolKind::kLs, 128, 8192, false, 1, 2},
+        Variant{ProtocolKind::kLsAd, 16, 2048, false, 1, 1},
+        Variant{ProtocolKind::kLsAd, 64, 4096, true, 1, 1},
+        Variant{ProtocolKind::kLsAd, 32, 8192, false, 2, 2}),
     [](const ::testing::TestParamInfo<Variant>& info) {
       const Variant& v = info.param;
-      return std::string(to_string(v.kind)) + "_b" +
+      std::string kind_name(to_string(v.kind));
+      for (char& c : kind_name) {
+        if (c == '+') c = '_';  // "LS+AD" -> "LS_AD".
+      }
+      return kind_name + "_b" +
              std::to_string(v.block_bytes) + "_l2x" +
              std::to_string(v.l2_size) + (v.default_tagged ? "_dt" : "") +
              "_h" + std::to_string(v.tag_hyst) +

@@ -93,6 +93,35 @@ TEST(Config, ProtocolKindNames) {
   EXPECT_STREQ(to_string(ProtocolKind::kBaseline), "Baseline");
   EXPECT_STREQ(to_string(ProtocolKind::kAd), "AD");
   EXPECT_STREQ(to_string(ProtocolKind::kLs), "LS");
+  EXPECT_STREQ(to_string(ProtocolKind::kIls), "ILS");
+  EXPECT_STREQ(to_string(ProtocolKind::kLsAd), "LS+AD");
+}
+
+TEST(Config, ProtocolNameRoundTripsExactly) {
+  // The printer and the parser share one table: every kind's canonical
+  // name must parse back to the same kind.
+  for (const ProtocolNameEntry& entry : kProtocolNameTable) {
+    ProtocolKind kind;
+    ASSERT_TRUE(protocol_from_name(protocol_name(entry.kind), &kind))
+        << entry.name;
+    EXPECT_EQ(kind, entry.kind);
+  }
+}
+
+TEST(Config, ProtocolFromNameAcceptsAliasesCaseInsensitively) {
+  ProtocolKind kind;
+  ASSERT_TRUE(protocol_from_name("BASELINE", &kind));
+  EXPECT_EQ(kind, ProtocolKind::kBaseline);
+  ASSERT_TRUE(protocol_from_name("wi", &kind));
+  EXPECT_EQ(kind, ProtocolKind::kBaseline);
+  ASSERT_TRUE(protocol_from_name("migratory", &kind));
+  EXPECT_EQ(kind, ProtocolKind::kAd);
+  ASSERT_TRUE(protocol_from_name("ls-ad", &kind));
+  EXPECT_EQ(kind, ProtocolKind::kLsAd);
+  ASSERT_TRUE(protocol_from_name("hybrid", &kind));
+  EXPECT_EQ(kind, ProtocolKind::kLsAd);
+  EXPECT_FALSE(protocol_from_name("", &kind));
+  EXPECT_FALSE(protocol_from_name("mesif", &kind));
 }
 
 }  // namespace

@@ -19,6 +19,7 @@ RunManifest make_manifest() {
   manifest.params["txns_per_proc"] = "500";
   manifest.params["hot_accounts"] = "16";
   manifest.machine.num_nodes = 8;
+  manifest.machine.protocol.kind = ProtocolKind::kLsAd;
   manifest.machine.topology = Topology::kRing;
   manifest.machine.consistency = ConsistencyModel::kPc;
   manifest.machine.l1.size_bytes = 8192;
@@ -52,6 +53,7 @@ TEST(ManifestTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.params.at("txns_per_proc"), "500");
   EXPECT_EQ(back.params.at("hot_accounts"), "16");
   EXPECT_EQ(back.machine.num_nodes, 8);
+  EXPECT_EQ(back.machine.protocol.kind, ProtocolKind::kLsAd);
   EXPECT_EQ(back.machine.topology, Topology::kRing);
   EXPECT_EQ(back.machine.consistency, ConsistencyModel::kPc);
   EXPECT_EQ(back.machine.l1.size_bytes, 8192u);
@@ -74,7 +76,7 @@ TEST(ManifestTest, RejectsNewerSchemaVersion) {
   std::ostringstream os;
   write_manifest(os, make_manifest());
   std::string text = os.str();
-  const std::string needle = "\"schema_version\": 1";
+  const std::string needle = "\"schema_version\": 2";
   const std::size_t at = text.find(needle);
   ASSERT_NE(at, std::string::npos);
   text.replace(at, needle.size(), "\"schema_version\": 999");

@@ -71,9 +71,14 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, OltpConservation,
                          ::testing::Values(ProtocolKind::kBaseline,
                                            ProtocolKind::kAd,
                                            ProtocolKind::kLs,
-                                           ProtocolKind::kIls),
+                                           ProtocolKind::kIls,
+                                           ProtocolKind::kLsAd),
                          [](const auto& info) {
-                           return std::string(to_string(info.param));
+                           std::string name(to_string(info.param));
+                           for (char& c : name) {
+                             if (c == '+') c = '_';  // "LS+AD" -> "LS_AD".
+                           }
+                           return name;
                          });
 
 }  // namespace
