@@ -2,15 +2,31 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "exec/parallel_executor.hpp"
 #include "lssim.hpp"
 
 namespace lssim::bench {
 
 inline constexpr ProtocolKind kAllProtocols[] = {
     ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs};
+
+/// Every figure binary accepts `--jobs N` (0 = all cores): the per-
+/// protocol runs are independent, deterministic simulations, so fanning
+/// them out changes wall clock only, never a reported number. Default is
+/// serial to keep single-figure timings comparable across machines.
+inline int parse_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 1;
+}
 
 /// OLTP bench configuration: the paper's cache organization (2-way L1,
 /// DM L2, 32-byte blocks) with capacities scaled down 8x alongside the
@@ -25,15 +41,12 @@ inline MachineConfig oltp_bench_config(
   return cfg;
 }
 
-/// Runs `build` under Baseline, AD and LS with the given base config.
+/// Runs `build` under Baseline, AD and LS with the given base config,
+/// across up to `jobs` host threads (results always in protocol order).
 inline std::vector<RunResult> run_three(MachineConfig cfg,
-                                        const WorkloadBuilder& build) {
-  std::vector<RunResult> results;
-  for (ProtocolKind kind : kAllProtocols) {
-    cfg.protocol.kind = kind;
-    results.push_back(run_experiment(cfg, build));
-  }
-  return results;
+                                        const WorkloadBuilder& build,
+                                        int jobs = 1) {
+  return run_experiments(cfg, build, kAllProtocols, /*seed=*/1, jobs);
 }
 
 inline void print_summary_line(const RunResult& base, const RunResult& r) {

@@ -9,14 +9,15 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lssim;
 
+  const int jobs = bench::parse_jobs(argc, argv);
   Mp3dParams params;  // 10k particles, 10 steps (paper configuration).
   const MachineConfig cfg = MachineConfig::scientific_default();
 
   const auto results = bench::run_three(
-      cfg, [&](System& sys) { build_mp3d(sys, params); });
+      cfg, [&](System& sys) { build_mp3d(sys, params); }, jobs);
 
   print_behavior_figure(std::cout, "MP3D (Figure 3)", results);
   bench::print_summary(results);

@@ -10,14 +10,15 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lssim;
 
+  const int jobs = bench::parse_jobs(argc, argv);
   CholeskyParams params;  // n=600, bandwidth=64: footprint 300 kB >> L2.
   const MachineConfig cfg = MachineConfig::scientific_default();
 
   const auto results = bench::run_three(
-      cfg, [&](System& sys) { build_cholesky(sys, params); });
+      cfg, [&](System& sys) { build_cholesky(sys, params); }, jobs);
 
   print_behavior_figure(std::cout, "Cholesky (Figure 4)", results);
   bench::print_summary(results);

@@ -13,9 +13,10 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lssim;
 
+  const int jobs = bench::parse_jobs(argc, argv);
   for (int procs : {4, 16, 32}) {
     CholeskyParams params;
     params.n = 600;
@@ -24,7 +25,7 @@ int main() {
         ProtocolKind::kBaseline, procs);
 
     std::vector<RunResult> results = bench::run_three(
-        cfg, [&](System& sys) { build_cholesky(sys, params); });
+        cfg, [&](System& sys) { build_cholesky(sys, params); }, jobs);
     std::vector<std::string> labels;
     for (ProtocolKind kind : bench::kAllProtocols) {
       labels.push_back(std::string(to_string(kind)) + "-" +

@@ -12,14 +12,15 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lssim;
 
+  const int jobs = bench::parse_jobs(argc, argv);
   LuParams params;  // 256x256 (paper configuration).
   const MachineConfig cfg = MachineConfig::scientific_default();
 
   const auto results = bench::run_three(
-      cfg, [&](System& sys) { build_lu(sys, params); });
+      cfg, [&](System& sys) { build_lu(sys, params); }, jobs);
 
   print_behavior_figure(std::cout, "LU (Figure 6)", results);
   bench::print_summary(results);

@@ -10,14 +10,15 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lssim;
 
+  const int jobs = bench::parse_jobs(argc, argv);
   OltpParams params;  // 40 branches (paper configuration).
   const MachineConfig cfg = bench::oltp_bench_config();
 
   const auto results = bench::run_three(
-      cfg, [&](System& sys) { build_oltp(sys, params); });
+      cfg, [&](System& sys) { build_oltp(sys, params); }, jobs);
 
   print_behavior_figure(std::cout, "OLTP (Figure 7)", results);
   bench::print_summary(results);

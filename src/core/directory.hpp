@@ -4,10 +4,20 @@
 // combines the DASH-style full-map state with the paper's LS extension
 // fields: the last-reader (LR) bit-field and the LS bit ("tagged" here,
 // since the AD technique reuses the same storage for its migratory bit).
+//
+// Storage is an open-addressing flat hash table (power-of-two capacity,
+// linear probing, no tombstones — the directory never erases) rather than
+// std::unordered_map: the directory is consulted on every global access,
+// so the hot path is one multiply-shift hash plus a short probe over a
+// contiguous 24-byte-slot array instead of a bucket pointer chase. A
+// one-entry MRU cache short-circuits the common same-block re-access
+// (spin-lock hand-offs, load-store sequences). See docs/PERFORMANCE.md.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/types.hpp"
 #include "telemetry/registry.hpp"
@@ -37,11 +47,11 @@ enum class DirState : std::uint8_t {
 }
 
 struct DirEntry {
-  DirState state = DirState::kUncached;
   std::uint64_t sharers = 0;          ///< Full-map presence bits (kShared).
   NodeId owner = kInvalidNode;        ///< Valid in kDirty / kExcl.
   NodeId last_reader = kInvalidNode;  ///< Paper's LR field.
   NodeId last_writer = kInvalidNode;  ///< Used by AD's migratory detection.
+  DirState state = DirState::kUncached;
   bool tagged = false;                ///< LS bit / migratory bit.
   /// kLimitedPtr: the sharer pointers overflowed; the directory no longer
   /// knows the precise sharer set and must broadcast invalidations. (The
@@ -63,6 +73,11 @@ struct DirEntry {
   }
 };
 
+// The presence bitmap plus all eight byte-wide fields pack into exactly
+// two words; a table slot (key + entry) is then 24 bytes, three per
+// cache line. Widening DirEntry is a hot-path regression — think twice.
+static_assert(sizeof(DirEntry) == 16, "DirEntry must stay two words");
+
 class Directory {
  public:
   /// `default_tagged` implements the §5.5 variation where every block
@@ -76,34 +91,154 @@ class Directory {
   void attach_telemetry(MetricsRegistry* metrics);
 
   /// Entry for `block` (block-aligned address), created on first use.
+  ///
+  /// The reference is invalidated by a *later* entry() call that inserts
+  /// (the table may grow), exactly like iterator invalidation on a
+  /// rehashing map. The transaction engine acquires at most one new
+  /// entry per coherence transaction (victim blocks were cached, so
+  /// their entries already exist), which keeps every held reference
+  /// valid for the duration of a transaction.
   [[nodiscard]] DirEntry& entry(Addr block) {
-    auto [it, inserted] = entries_.try_emplace(block);
-    if (inserted) {
-      if (default_tagged_) {
-        it->second.tagged = true;
-      }
-      if (metrics_ != nullptr) {
-        metrics_->add(entries_created_);
-      }
+    assert(block != kEmptyKey && "block address collides with sentinel");
+    if (mru_key_ == block) {
+      return slots_[mru_index_].entry;
     }
-    return it->second;
+    if (slots_.empty()) {
+      grow(kInitialCapacity);
+    }
+    std::size_t i = probe_start(block);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == block) {
+        remember(block, i);
+        return slot.entry;
+      }
+      if (slot.key == kEmptyKey) {
+        if (size_ + 1 > capacity_limit()) {
+          grow(slots_.size() * 2);
+          return insert_new(block);  // Re-probe in the grown table.
+        }
+        return fill_slot(i, block);
+      }
+      i = (i + 1) & mask_;
+    }
   }
 
   /// Read-only lookup that does not create an entry.
   [[nodiscard]] const DirEntry* find(Addr block) const noexcept {
-    const auto it = entries_.find(block);
-    return it == entries_.end() ? nullptr : &it->second;
+    if (mru_key_ == block) {
+      return &slots_[mru_index_].entry;
+    }
+    if (slots_.empty()) {
+      return nullptr;
+    }
+    std::size_t i = probe_start(block);
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.key == block) {
+        return &slot.entry;
+      }
+      if (slot.key == kEmptyKey) {
+        return nullptr;
+      }
+      i = (i + 1) & mask_;
+    }
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
+  /// Allocated slots (tests; always a power of two once non-empty).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+  /// Visits every entry in slot order (unspecified, like the map it
+  /// replaced — callers must not depend on it).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [block, entry] : entries_) fn(block, entry);
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.entry);
+    }
   }
 
  private:
-  std::unordered_map<Addr, DirEntry> entries_;
+  struct Slot {
+    Addr key = kEmptyKey;
+    DirEntry entry;
+  };
+
+  /// Block addresses are block-aligned (blocks are >= 8 bytes), so the
+  /// all-ones address can never name a real block.
+  static constexpr Addr kEmptyKey = ~Addr{0};
+  static constexpr std::size_t kInitialCapacity = 256;
+
+  [[nodiscard]] std::size_t probe_start(Addr block) const noexcept {
+    // Fibonacci multiply-shift: block addresses share low zero bits
+    // (block alignment) and arithmetic strides; the multiply diffuses
+    // both into the top bits we keep.
+    return static_cast<std::size_t>(
+               (block * 0x9E3779B97F4A7C15ull) >> shift_) &
+           mask_;
+  }
+
+  /// Grow threshold: 3/4 load factor keeps linear probe chains short.
+  [[nodiscard]] std::size_t capacity_limit() const noexcept {
+    return slots_.size() - slots_.size() / 4;
+  }
+
+  DirEntry& fill_slot(std::size_t i, Addr block) {
+    Slot& slot = slots_[i];
+    slot.key = block;
+    slot.entry = DirEntry{};
+    if (default_tagged_) {
+      slot.entry.tagged = true;
+    }
+    size_ += 1;
+    if (metrics_ != nullptr) {
+      metrics_->add(entries_created_);
+    }
+    remember(block, i);
+    return slot.entry;
+  }
+
+  /// Slow path after a grow: probe again (slots moved) and fill.
+  DirEntry& insert_new(Addr block) {
+    std::size_t i = probe_start(block);
+    while (slots_[i].key != kEmptyKey) {
+      assert(slots_[i].key != block);
+      i = (i + 1) & mask_;
+    }
+    return fill_slot(i, block);
+  }
+
+  void grow(std::size_t new_capacity) {
+    assert((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    shift_ = 64 - std::countr_zero(new_capacity);
+    mru_key_ = kEmptyKey;  // Slot indices moved.
+    for (const Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      std::size_t i = probe_start(slot.key);
+      while (slots_[i].key != kEmptyKey) {
+        i = (i + 1) & mask_;
+      }
+      slots_[i] = slot;
+    }
+  }
+
+  void remember(Addr block, std::size_t index) noexcept {
+    mru_key_ = block;
+    mru_index_ = index;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  Addr mru_key_ = kEmptyKey;
+  std::size_t mru_index_ = 0;
   bool default_tagged_;
   MetricsRegistry* metrics_ = nullptr;
   CounterHandle entries_created_;

@@ -99,6 +99,8 @@ std::string driver_usage() {
   --format F         text | csv | json                (default text)
 
   --protocols A,B    run several protocols (e.g. baseline,ls)
+  --jobs N           host threads for multi-protocol sweeps
+                     (default: all cores; results identical for any N)
   --metrics-out F    write metrics snapshots as JSON ("-" = stdout)
   --perfetto-out F   write a Chrome trace-event JSON timeline
                      (open in ui.perfetto.dev or chrome://tracing)
@@ -151,6 +153,14 @@ bool parse_driver_args(int argc, const char* const* argv,
     } else if (arg == "--manifest-out") {
       if (!need_value(i, &value)) return false;
       options->manifest_out = value;
+    } else if (arg == "--jobs") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n > 1024) {
+        *error = "bad --jobs (expected 0..1024, 0 = all cores): " + value;
+        return false;
+      }
+      options->jobs = static_cast<int>(n);
     } else if (arg == "--trace-capacity") {
       if (!need_value(i, &value)) return false;
       std::uint64_t n = 0;

@@ -38,6 +38,10 @@ struct DriverOptions {
   /// Trace events kept per run; 0 means "default (1M) when --perfetto-out
   /// is set, else tracing off".
   std::size_t trace_capacity = 0;
+  /// Host worker threads for multi-protocol sweeps (--jobs). 0 = one per
+  /// hardware thread. Results are deterministic for any value (see
+  /// exec/parallel_executor.hpp).
+  int jobs = 0;
   bool show_help = false;
 };
 

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/protocol_registry.hpp"
+#include "exec/parallel_executor.hpp"
 #include "stats/report.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/perfetto.hpp"
@@ -213,6 +214,19 @@ DriverRun run_driver_workload_captured(const DriverOptions& options,
   return run;
 }
 
+std::vector<DriverRun> run_driver_workloads_captured(
+    const DriverOptions& options) {
+  // Surface workload/parameter errors before any worker starts (and
+  // build each task's own builder inside the task — the ownership rule
+  // at the executor seam: nothing mutable is shared between runs).
+  (void)make_driver_builder(options);
+  return parallel_map<DriverRun>(
+      options.protocols.size(), options.jobs, [&options](std::size_t i) {
+        return run_driver_workload_captured(options,
+                                            options.protocols[i]);
+      });
+}
+
 namespace {
 
 /// Writes one artifact via `emit` to `path` ("-" = stdout), with an
@@ -251,6 +265,7 @@ bool write_driver_artifacts(const DriverOptions& options,
                             double wall_seconds, std::string* error) {
   if (!options.metrics_out.empty()) {
     Json::Array documents;
+    documents.reserve(runs.size());
     for (const DriverRun& run : runs) {
       Json::Object entry;
       entry.emplace_back("protocol", Json(to_string(run.result.protocol)));

@@ -48,6 +48,13 @@ struct DriverRun {
 DriverRun run_driver_workload_captured(const DriverOptions& options,
                                        ProtocolKind kind);
 
+/// Runs every protocol in `options.protocols`, fanned out across up to
+/// `options.jobs` host threads (0 = all cores). Results are ordered by
+/// `options.protocols` regardless of completion order, so reports,
+/// manifests and Perfetto exports are byte-identical to a serial sweep.
+std::vector<DriverRun> run_driver_workloads_captured(
+    const DriverOptions& options);
+
 /// Writes the requested artifact files (--metrics-out, --perfetto-out,
 /// --manifest-out). Returns false and sets `*error` when any output
 /// stream fails; artifacts already written stay on disk.

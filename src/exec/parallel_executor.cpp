@@ -1,0 +1,72 @@
+#include "exec/parallel_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace lssim {
+
+int default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for_index(std::size_t count, int jobs,
+                        const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 0) {
+    jobs = default_jobs();
+  }
+  if (count == 0) {
+    return;
+  }
+  if (jobs == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), count);
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        // Drain the remaining indices so other workers stop soon; the
+        // tasks already running are allowed to finish.
+        cursor.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    threads.emplace_back(worker);
+  }
+  worker();  // The calling thread participates.
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace lssim

@@ -13,17 +13,31 @@ AddressSpace::AddressSpace(int num_nodes, std::uint32_t page_bytes)
 
 std::byte* AddressSpace::page_for(Addr addr) {
   const Addr page = addr / page_bytes_;
+  if (page == last_page_) {
+    return last_data_;
+  }
   auto& slot = pages_[page];
   if (!slot) {
     slot = std::make_unique<std::byte[]>(page_bytes_);
     std::memset(slot.get(), 0, page_bytes_);
   }
+  last_page_ = page;
+  last_data_ = slot.get();
   return slot.get();
 }
 
 const std::byte* AddressSpace::page_if_present(Addr addr) const noexcept {
-  const auto it = pages_.find(addr / page_bytes_);
-  return it == pages_.end() ? nullptr : it->second.get();
+  const Addr page = addr / page_bytes_;
+  if (page == last_page_) {
+    return last_data_;
+  }
+  const auto it = pages_.find(page);
+  if (it == pages_.end()) {
+    return nullptr;
+  }
+  last_page_ = page;
+  last_data_ = it->second.get();
+  return it->second.get();
 }
 
 std::uint64_t AddressSpace::load(Addr addr, unsigned size) const {

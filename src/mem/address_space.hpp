@@ -3,6 +3,12 @@
 // Backing storage is allocated lazily page-by-page; pages are assigned
 // home nodes round-robin (paper §4.2: "physical memory pages are
 // distributed in round-robin fashion among the nodes").
+//
+// Accesses are strongly page-local (a workload touches the same stack /
+// array page many times in a row), so both load and store consult a
+// one-entry last-page cache before the page map. Page storage is heap
+// blocks owned by unique_ptr, so the cached pointer stays valid across
+// map rehashes; the map never erases.
 #pragma once
 
 #include <cstddef>
@@ -45,9 +51,15 @@ class AddressSpace {
   [[nodiscard]] std::byte* page_for(Addr addr);
   [[nodiscard]] const std::byte* page_if_present(Addr addr) const noexcept;
 
+  static constexpr Addr kNoPage = ~Addr{0};
+
   int num_nodes_;
   std::uint32_t page_bytes_;
   std::unordered_map<Addr, std::unique_ptr<std::byte[]>> pages_;
+  // Last-page cache (mutable: load() is logically const). Only ever
+  // caches a materialised page, so load-after-store stays coherent.
+  mutable Addr last_page_ = kNoPage;
+  mutable std::byte* last_data_ = nullptr;
 };
 
 }  // namespace lssim

@@ -1,5 +1,7 @@
 #include "workloads/harness.hpp"
 
+#include "exec/parallel_executor.hpp"
+
 namespace lssim {
 
 RunResult collect(System& sys) {
@@ -53,6 +55,17 @@ RunResult run_experiment(const MachineConfig& config,
     inspect(sys);
   }
   return result;
+}
+
+std::vector<RunResult> run_experiments(const MachineConfig& config,
+                                       const WorkloadBuilder& build,
+                                       std::span<const ProtocolKind> kinds,
+                                       std::uint64_t seed, int jobs) {
+  return parallel_map<RunResult>(kinds.size(), jobs, [&](std::size_t i) {
+    MachineConfig cfg = config;
+    cfg.protocol.kind = kinds[i];
+    return run_experiment(cfg, build, seed);
+  });
 }
 
 }  // namespace lssim

@@ -5,6 +5,8 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "machine/system.hpp"
 #include "sim/config.hpp"
@@ -70,5 +72,17 @@ using RunInspector = std::function<void(System&)>;
                                        const WorkloadBuilder& build,
                                        std::uint64_t seed,
                                        const RunInspector& inspect);
+
+/// Runs `build` once per protocol in `kinds` (config's kind overridden
+/// per run), fanning the independent simulations out across up to `jobs`
+/// host threads (<= 0 = all cores; see exec/parallel_executor.hpp).
+/// Each run gets its own System — own Stats, MetricsRegistry, RNG — and
+/// results come back in `kinds` order, so any jobs value produces
+/// results identical to a serial sweep. `build` is invoked concurrently
+/// and must not mutate captured state.
+[[nodiscard]] std::vector<RunResult> run_experiments(
+    const MachineConfig& config, const WorkloadBuilder& build,
+    std::span<const ProtocolKind> kinds, std::uint64_t seed = 1,
+    int jobs = 1);
 
 }  // namespace lssim

@@ -1,0 +1,96 @@
+// Serial-vs-parallel equivalence: a multi-protocol sweep run with
+// --jobs N must produce byte-identical artifacts to --jobs 1 — same
+// report text, same manifest document (wall clock aside), same captured
+// metrics. This is the determinism contract of exec/parallel_executor.hpp
+// checked end to end through the driver.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace lssim {
+namespace {
+
+const std::vector<ProtocolKind> kAllFive = {
+    ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs,
+    ProtocolKind::kIls, ProtocolKind::kLsAd};
+
+DriverOptions sweep_options(const std::string& workload, int jobs) {
+  DriverOptions options;
+  options.workload = workload;
+  options.protocols = kAllFive;
+  options.jobs = jobs;
+  if (workload == "oltp") {
+    options.params["txns_per_proc"] = "50";
+  }
+  // Non-empty metrics_out enables telemetry capture; nothing is written
+  // here (write_driver_artifacts is never called).
+  options.metrics_out = "unused.json";
+  return options;
+}
+
+std::string report_text(const DriverOptions& options,
+                        const std::vector<DriverRun>& runs) {
+  std::vector<RunResult> results;
+  results.reserve(runs.size());
+  for (const DriverRun& run : runs) {
+    results.push_back(run.result);
+  }
+  std::ostringstream os;
+  print_driver_results(os, options, results);
+  return os.str();
+}
+
+std::string manifest_text(const DriverOptions& options,
+                          const std::vector<DriverRun>& runs) {
+  RunManifest manifest;
+  manifest.workload = options.workload;
+  manifest.seed = options.seed;
+  manifest.params = options.params;
+  manifest.machine = options.machine;
+  manifest.wall_seconds = 0.0;  // The one legitimately host-dependent field.
+  for (const DriverRun& run : runs) {
+    manifest.runs.push_back({run.result, run.metrics});
+  }
+  std::ostringstream os;
+  write_manifest(os, manifest);
+  return os.str();
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelEquivalence, JobsFourMatchesSerialByteForByte) {
+  const std::string workload = GetParam();
+  const DriverOptions serial_opts = sweep_options(workload, 1);
+  const DriverOptions parallel_opts = sweep_options(workload, 4);
+
+  const std::vector<DriverRun> serial =
+      run_driver_workloads_captured(serial_opts);
+  const std::vector<DriverRun> parallel =
+      run_driver_workloads_captured(parallel_opts);
+
+  ASSERT_EQ(serial.size(), kAllFive.size());
+  ASSERT_EQ(parallel.size(), kAllFive.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.protocol, kAllFive[i])
+        << "parallel results must keep --protocols order";
+    EXPECT_EQ(serial[i].result.exec_time, parallel[i].result.exec_time);
+    EXPECT_EQ(serial[i].result.traffic_total,
+              parallel[i].result.traffic_total);
+  }
+  EXPECT_EQ(report_text(serial_opts, serial),
+            report_text(parallel_opts, parallel));
+  EXPECT_EQ(manifest_text(serial_opts, serial),
+            manifest_text(parallel_opts, parallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ParallelEquivalence,
+                         ::testing::Values("pingpong", "oltp"));
+
+}  // namespace
+}  // namespace lssim

@@ -1,0 +1,92 @@
+#include "exec/parallel_executor.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lssim {
+namespace {
+
+TEST(ParallelExecutor, DefaultJobsIsPositive) {
+  EXPECT_GE(default_jobs(), 1);
+}
+
+TEST(ParallelExecutor, EveryIndexRunsExactlyOnce) {
+  const std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for_index(kCount, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelExecutor, MapResultsAreIndexOrdered) {
+  const std::vector<int> squares =
+      parallel_map<int>(50, 4, [](std::size_t i) {
+        return static_cast<int>(i * i);
+      });
+  ASSERT_EQ(squares.size(), 50u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelExecutor, SingleJobRunsInlineOnCallerThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  parallel_for_index(seen.size(), 1, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ParallelExecutor, MoreJobsThanTasksStillRunsAll) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for_index(hits.size(), 64, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ParallelExecutor, ZeroTasksIsANoOp) {
+  bool called = false;
+  parallel_for_index(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelExecutor, TaskExceptionIsRethrownToCaller) {
+  std::atomic<int> completed{0};
+  const auto run = [&completed](int jobs) {
+    parallel_for_index(100, jobs, [&](std::size_t i) {
+      if (i == 7) {
+        throw std::runtime_error("task 7 failed");
+      }
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  };
+  EXPECT_THROW(run(4), std::runtime_error);
+  // The inline (jobs == 1) path must propagate the same way.
+  EXPECT_THROW(run(1), std::runtime_error);
+}
+
+TEST(ParallelExecutor, NonPositiveJobsFallsBackToDefault) {
+  std::vector<std::atomic<int>> hits(16);
+  parallel_for_index(hits.size(), 0, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace lssim

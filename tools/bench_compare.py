@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two perf-baseline files (bench/perf_baseline output).
+
+    tools/bench_compare.py OLD.json NEW.json [--threshold 0.10]
+
+Prints a per-figure table of serial wall clock and throughput, then exits
+non-zero if any figure's serial time regressed by more than the threshold
+(default 10%). Figures present in only one file are reported but never
+fail the comparison (the suite grows over time). Only wall-clock/throughput
+fields are compared — cycle counts are covered by the simulator's own
+determinism checks.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "figures" not in doc:
+        sys.exit(f"{path}: not a perf_baseline document (no 'figures')")
+    return doc
+
+
+def by_name(doc):
+    return {fig["name"]: fig for fig in doc["figures"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline BENCH_results.json")
+    parser.add_argument("new", help="candidate BENCH_results.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional serial-time regression that fails (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    if old_doc.get("quick") != new_doc.get("quick"):
+        print(
+            "warning: comparing a --quick baseline against a full one; "
+            "wall-clock deltas are not meaningful",
+            file=sys.stderr,
+        )
+    old_figs, new_figs = by_name(old_doc), by_name(new_doc)
+
+    regressions = []
+    print(f"{'figure':<24} {'old s':>9} {'new s':>9} {'delta':>8}  verdict")
+    for name, new_fig in new_figs.items():
+        old_fig = old_figs.get(name)
+        if old_fig is None:
+            print(f"{name:<24} {'-':>9} {new_fig['serial_seconds']:>9.3f} "
+                  f"{'-':>8}  new figure")
+            continue
+        old_s = old_fig["serial_seconds"]
+        new_s = new_fig["serial_seconds"]
+        delta = (new_s - old_s) / old_s if old_s > 0 else 0.0
+        verdict = "ok"
+        if delta > args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            verdict = "improved"
+        print(f"{name:<24} {old_s:>9.3f} {new_s:>9.3f} {delta:>+7.1%}  "
+              f"{verdict}")
+    for name in old_figs:
+        if name not in new_figs:
+            print(f"{name:<24} {old_figs[name]['serial_seconds']:>9.3f} "
+                  f"{'-':>9} {'-':>8}  removed")
+
+    old_total = old_doc.get("serial_seconds", 0.0)
+    new_total = new_doc.get("serial_seconds", 0.0)
+    if old_total > 0:
+        print(f"\ntotal serial: {old_total:.2f}s -> {new_total:.2f}s "
+              f"({(new_total - old_total) / old_total:+.1%}); "
+              f"speedup at --jobs {new_doc.get('jobs')}: "
+              f"{new_doc.get('speedup', 0):.2f}x")
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(
+            f"\nFAIL: {len(regressions)} figure(s) regressed more than "
+            f"{args.threshold:.0%} (worst: {worst[0]} {worst[1]:+.1%})",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno serial-time regressions above "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,11 +34,9 @@ int main(int argc, char** argv) {
 
   try {
     const auto start = std::chrono::steady_clock::now();
-    std::vector<DriverRun> runs;
-    runs.reserve(options.protocols.size());
-    for (ProtocolKind kind : options.protocols) {
-      runs.push_back(run_driver_workload_captured(options, kind));
-    }
+    // Fans the per-protocol simulations out across --jobs host threads;
+    // result order (and so every artifact byte) matches a serial sweep.
+    std::vector<DriverRun> runs = run_driver_workloads_captured(options);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
