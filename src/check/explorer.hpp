@@ -1,0 +1,55 @@
+// Exhaustive state-space explorer for tiny configurations.
+//
+// Model-checking practice for coherence protocols (Murphi-style) is that
+// bugs reachable at all are reachable on very small machines: 2-4 nodes,
+// 1-2 blocks, a handful of accesses. The explorer enumerates *every*
+// interleaved access sequence of bounded depth over such a config —
+// sequence = depth choices of (node, block, read/write) — replaying each
+// from a cold machine with the invariant checker attached, which
+// cross-checks against its own sequentially-consistent reference memory.
+// Depth d with n nodes, b blocks explores (2*n*b)^d sequences; the
+// defaults (2 nodes, 2 blocks, depth 4) are 4096 sequences and run in
+// well under a second per protocol.
+#pragma once
+
+#include <vector>
+
+#include "check/trace_runner.hpp"
+
+namespace lssim::check {
+
+struct ExplorerOptions {
+  /// Machine shape shared by all sequences; protocol kind comes from
+  /// `protocols`. Tiny caches on purpose — see trace_runner.hpp.
+  MachineConfig machine = tiny_machine(2);
+  /// Protocol kinds to cross-check. Empty = all registered protocols.
+  std::vector<ProtocolKind> protocols;
+  /// Distinct blocks a sequence may touch (same-L2-set addresses).
+  int num_blocks = 2;
+  /// Accesses per sequence.
+  int depth = 4;
+  /// Failing sequences kept as repro traces (counting continues).
+  std::size_t max_failures = 4;
+  /// Tiny configs afford the strictest mode: full sweep every access.
+  CheckerOptions checker{.full_scan_interval = 1};
+};
+
+struct ExplorerResult {
+  std::uint64_t sequences = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t failing_sequences = 0;
+  /// One repro per failing sequence, capped at max_failures; the trace
+  /// is truncated right after the first violating access.
+  std::vector<ReproTrace> failures;
+  /// First violation message per retained failure (parallel array).
+  std::vector<std::string> messages;
+
+  [[nodiscard]] bool ok() const noexcept { return failing_sequences == 0; }
+};
+
+/// Enumerates and checks all sequences; `policy` (optional) injects a
+/// policy override for fault-injection tests.
+[[nodiscard]] ExplorerResult run_explorer(const ExplorerOptions& options,
+                                          const PolicyFactory& policy = {});
+
+}  // namespace lssim::check

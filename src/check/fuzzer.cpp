@@ -1,0 +1,191 @@
+#include "check/fuzzer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/protocol_registry.hpp"
+#include "sim/rng.hpp"
+
+namespace lssim::check {
+namespace {
+
+/// LS with the §3.1 foreign-access de-tag rule "forgotten": a block
+/// stays tagged after a foreign read hits its LStemp owner, so later
+/// reads keep being granted exclusive copies of a block that is
+/// demonstrably not in a load-store sequence any more. The invariant
+/// checker's LS tag model flags the first such access.
+class SkipDetagLsPolicy final : public CoherencePolicy {
+ public:
+  explicit SkipDetagLsPolicy(const ProtocolConfig& config)
+      : keep_tag_on_lone_write_(config.keep_tag_on_lone_write) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kLs;
+  }
+
+  WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
+                                   bool upgrade) override {
+    if (entry.last_reader == writer) {
+      return {TagAction::kTag, false};
+    }
+    if (!upgrade && !keep_tag_on_lone_write_) {
+      return {TagAction::kDetag, true};
+    }
+    return {};
+  }
+
+  [[nodiscard]] TagAction on_foreign_access(
+      const DirEntry& entry) const override {
+    (void)entry;
+    return TagAction::kNone;  // The injected bug.
+  }
+
+ private:
+  bool keep_tag_on_lone_write_;
+};
+
+ReproTrace random_trace(Rng& rng, const FuzzOptions& options,
+                        const std::vector<ProtocolKind>& kinds) {
+  ReproTrace trace;
+  const ProtocolKind kind = kinds[rng.next_below(kinds.size())];
+  const int nodes = static_cast<int>(rng.next_range(2, 4));
+  trace.machine = tiny_machine(nodes, kind);
+
+  if (options.randomize_knobs) {
+    ProtocolConfig& p = trace.machine.protocol;
+    p.default_tagged = rng.next_bool(0.25);
+    p.tag_hysteresis = rng.next_bool(0.25) ? 2 : 1;
+    p.detag_hysteresis = rng.next_bool(0.25) ? 2 : 1;
+    p.keep_tag_on_lone_write = rng.next_bool(0.25);
+    p.ad_detag_on_replacement = !rng.next_bool(0.25);
+    if (rng.next_bool(0.25)) {
+      trace.machine.directory_scheme = DirectoryScheme::kLimitedPtr;
+      trace.machine.directory_pointers =
+          static_cast<std::uint8_t>(rng.next_range(1, 2));
+    }
+  }
+
+  const int num_blocks = static_cast<int>(rng.next_range(1, 4));
+  for (int i = 0; i < options.trace_length; ++i) {
+    ReproAccess access;
+    access.node = static_cast<NodeId>(rng.next_below(nodes));
+    const Addr block = verification_block(
+        trace.machine, static_cast<int>(rng.next_below(num_blocks)));
+    access.addr = block + rng.next_below(2) * 8;
+    access.size = 8;
+    access.wdata = rng.next();
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 45) {
+      access.op = MemOpKind::kRead;
+    } else if (roll < 80) {
+      access.op = MemOpKind::kWrite;
+    } else if (roll < 87) {
+      access.op = MemOpKind::kSwap;
+    } else if (roll < 94) {
+      access.op = MemOpKind::kFetchAdd;
+    } else {
+      access.op = MemOpKind::kCas;
+      access.expected = rng.next_bool(0.5) ? 0 : rng.next();
+    }
+    trace.accesses.push_back(access);
+  }
+  return trace;
+}
+
+}  // namespace
+
+PolicyFactory skip_detag_policy_factory() {
+  return [](const MachineConfig& config) -> std::unique_ptr<CoherencePolicy> {
+    return std::make_unique<SkipDetagLsPolicy>(config.protocol);
+  };
+}
+
+ReproTrace shrink_repro(const ReproTrace& trace, const PolicyFactory& policy,
+                        const CheckerOptions& options) {
+  const auto fails = [&](const std::vector<ReproAccess>& accesses) {
+    ReproTrace candidate;
+    candidate.machine = trace.machine;
+    candidate.accesses = accesses;
+    return !run_trace(candidate, policy, options).ok();
+  };
+
+  std::vector<ReproAccess> current = trace.accesses;
+  if (current.empty() || !fails(current)) {
+    return trace;
+  }
+
+  // ddmin (Zeller/Hildebrandt): try dropping ever-finer chunks until no
+  // single access can be removed.
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk =
+        (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<ReproAccess> candidate;
+      candidate.reserve(current.size());
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + static_cast<std::ptrdiff_t>(start));
+      const std::size_t stop = std::min(start + chunk, current.size());
+      candidate.insert(candidate.end(),
+                       current.begin() + static_cast<std::ptrdiff_t>(stop),
+                       current.end());
+      if (!candidate.empty() && fails(candidate)) {
+        current = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) {
+        break;  // 1-minimal.
+      }
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+
+  ReproTrace shrunk;
+  shrunk.machine = trace.machine;
+  shrunk.accesses = std::move(current);
+  return shrunk;
+}
+
+FuzzResult run_fuzzer(const FuzzOptions& options, const PolicyFactory& policy) {
+  FuzzResult result;
+  std::vector<ProtocolKind> kinds = options.protocols;
+  if (kinds.empty()) {
+    kinds = all_protocol_kinds();
+  }
+
+  Rng rng(options.seed);
+  for (int i = 0; i < options.iterations; ++i) {
+    const ReproTrace trace = random_trace(rng, options, kinds);
+    const TraceRunResult run = run_trace(trace, policy, options.checker);
+    result.traces += 1;
+    result.accesses += run.accesses;
+    if (run.ok()) {
+      continue;
+    }
+    result.failing_traces += 1;
+    if (result.failures.size() < options.max_failures) {
+      ReproTrace repro = trace;
+      if (!run.violations.empty()) {
+        // Everything after the first violating access is noise.
+        repro.accesses.resize(
+            static_cast<std::size_t>(run.violations.front().access_index));
+      }
+      if (options.shrink) {
+        repro = shrink_repro(repro, policy, options.checker);
+      }
+      const TraceRunResult rerun = run_trace(repro, policy, options.checker);
+      result.messages.push_back(rerun.violations.empty()
+                                    ? run.violations.front().message()
+                                    : rerun.violations.front().message());
+      result.failures.push_back(std::move(repro));
+    }
+  }
+  return result;
+}
+
+}  // namespace lssim::check

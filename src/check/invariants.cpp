@@ -1,0 +1,407 @@
+#include "check/invariants.hpp"
+
+#include <sstream>
+
+#include "cache/hierarchy.hpp"
+#include "core/directory.hpp"
+
+namespace lssim::check {
+namespace {
+
+std::string hex(Addr value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << value;
+  return os.str();
+}
+
+/// The LS §3.1 tag model is exact only under the paper's default knobs:
+/// immediate tag/de-tag (hysteresis depth 1) and no default tagging.
+bool ls_model_applies(const MachineConfig& cfg) {
+  return cfg.protocol.tag_hysteresis == 1 &&
+         cfg.protocol.detag_hysteresis == 1 && !cfg.protocol.default_tagged;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(CheckerOptions options)
+    : options_(options) {}
+
+std::vector<std::string> InvariantChecker::messages() const {
+  std::vector<std::string> out;
+  out.reserve(violations_.size());
+  for (const Violation& v : violations_) {
+    out.push_back(v.message());
+  }
+  return out;
+}
+
+void InvariantChecker::record(std::string invariant, std::string detail) {
+  ++total_violations_;
+  if (violations_.size() < options_.max_violations) {
+    violations_.push_back(
+        Violation{std::move(invariant), std::move(detail), accesses_});
+  }
+}
+
+std::uint64_t InvariantChecker::shadow_load(Addr addr, unsigned size) const {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    const auto it = shadow_.find(addr + i);
+    const std::uint64_t byte = it == shadow_.end() ? 0 : it->second;
+    value |= byte << (8 * i);
+  }
+  return value;
+}
+
+void InvariantChecker::shadow_store(Addr addr, unsigned size,
+                                    std::uint64_t value) {
+  for (unsigned i = 0; i < size; ++i) {
+    shadow_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void InvariantChecker::check_data_value(const AccessRequest& req,
+                                        const AccessResult& result) {
+  const std::uint64_t expected = shadow_load(req.addr, req.size);
+  switch (req.op) {
+    case MemOpKind::kRead:
+      if (result.value != expected) {
+        record("data-value",
+               "read of " + hex(req.addr) + " returned " +
+                   hex(result.value) + ", reference memory holds " +
+                   hex(expected));
+      }
+      break;
+    case MemOpKind::kWrite:
+      shadow_store(req.addr, req.size, req.wdata);
+      break;
+    case MemOpKind::kSwap:
+      if (result.value != expected) {
+        record("data-value", "swap at " + hex(req.addr) +
+                                 " returned old value " + hex(result.value) +
+                                 ", reference memory holds " + hex(expected));
+      }
+      shadow_store(req.addr, req.size, req.wdata);
+      break;
+    case MemOpKind::kFetchAdd:
+      if (result.value != expected) {
+        record("data-value", "fetch-add at " + hex(req.addr) +
+                                 " returned old value " + hex(result.value) +
+                                 ", reference memory holds " + hex(expected));
+      }
+      shadow_store(req.addr, req.size, expected + req.wdata);
+      break;
+    case MemOpKind::kCas:
+      if (result.value != expected) {
+        record("data-value", "CAS at " + hex(req.addr) +
+                                 " returned old value " + hex(result.value) +
+                                 ", reference memory holds " + hex(expected));
+      }
+      if (expected == req.expected) {
+        shadow_store(req.addr, req.size, req.wdata);
+      }
+      break;
+  }
+}
+
+void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
+                                    const DirEntry& e) {
+  const MachineConfig& cfg = ms.config();
+  const int nodes = cfg.num_nodes;
+  const bool baseline = ms.policy().kind() == ProtocolKind::kBaseline;
+  const std::uint8_t tag_hyst =
+      cfg.protocol.tag_hysteresis == 0 ? 1 : cfg.protocol.tag_hysteresis;
+  const std::uint8_t detag_hyst = cfg.protocol.detag_hysteresis == 0
+                                      ? 1
+                                      : cfg.protocol.detag_hysteresis;
+
+  {
+    BlockSnapshot snap;
+    snap.tagged = e.tagged;
+    snap.last_reader = e.last_reader;
+    int shared_copies = 0;
+    int excl_copies = 0;
+
+    for (int n = 0; n < nodes; ++n) {
+      const NodeId nid = static_cast<NodeId>(n);
+      const ProbeResult p = ms.cache(nid).probe(b);
+      // Per-block inclusion: a valid L1 line needs a same-state L2 twin.
+      if (const CacheLine* l1 = ms.cache(nid).l1().find(b)) {
+        if (!p.l2_hit || l1->state != p.state) {
+          record("dir-cache-agreement",
+                 "node " + std::to_string(n) + " L1 holds " + hex(b) +
+                     " " + to_string(l1->state) + " but L2 holds " +
+                     (p.l2_hit ? to_string(p.state) : "nothing"));
+        }
+      }
+      if (!p.l2_hit) {
+        if (e.state == DirState::kShared && e.is_sharer(nid)) {
+          record("dir-cache-agreement",
+                 "directory lists node " + std::to_string(n) +
+                     " as sharer of " + hex(b) + " but its cache misses");
+        }
+        continue;
+      }
+      switch (p.state) {
+        case CacheState::kShared:
+          ++shared_copies;
+          snap.shared_mask |= std::uint64_t{1} << n;
+          if (e.state != DirState::kShared || !e.is_sharer(nid)) {
+            record("dir-cache-agreement",
+                   "node " + std::to_string(n) + " holds " + hex(b) +
+                       " Shared but directory is " +
+                       std::string(to_string(e.state)) +
+                       (e.is_sharer(nid) ? "" : " without the sharer bit"));
+          }
+          break;
+        case CacheState::kModified:
+          ++excl_copies;
+          snap.modified_mask |= std::uint64_t{1} << n;
+          if ((e.state != DirState::kDirty && e.state != DirState::kExcl) ||
+              e.owner != nid) {
+            record("dir-cache-agreement",
+                   "node " + std::to_string(n) + " holds " + hex(b) +
+                       " Modified but directory is " +
+                       std::string(to_string(e.state)) + " with owner " +
+                       std::to_string(static_cast<int>(e.owner)));
+          }
+          break;
+        case CacheState::kLStemp:
+          ++excl_copies;
+          snap.lstemp_mask |= std::uint64_t{1} << n;
+          if (e.state != DirState::kExcl || e.owner != nid) {
+            record("ls-tag",
+                   "node " + std::to_string(n) + " holds " + hex(b) +
+                       " in LStemp but directory is " +
+                       std::string(to_string(e.state)) + " with owner " +
+                       std::to_string(static_cast<int>(e.owner)));
+          }
+          if (baseline) {
+            record("ls-tag", "Baseline protocol granted an LStemp copy of " +
+                                 hex(b) + " to node " + std::to_string(n));
+          }
+          break;
+        case CacheState::kInvalid:
+          break;
+      }
+    }
+
+    if (excl_copies > 1 || (excl_copies == 1 && shared_copies > 0)) {
+      record("swmr", "block " + hex(b) + " has " +
+                         std::to_string(excl_copies) + " writable and " +
+                         std::to_string(shared_copies) + " shared copies");
+    }
+
+    switch (e.state) {
+      case DirState::kUncached:
+        if (shared_copies + excl_copies != 0 || e.sharers != 0 ||
+            e.owner != kInvalidNode) {
+          record("dir-cache-agreement",
+                 "Uncached block " + hex(b) + " still has copies (" +
+                     std::to_string(shared_copies) + " shared, " +
+                     std::to_string(excl_copies) + " writable) or stale "
+                     "sharer/owner fields");
+        }
+        break;
+      case DirState::kShared:
+        if (shared_copies != e.sharer_count() || shared_copies == 0 ||
+            excl_copies != 0 || e.owner != kInvalidNode) {
+          record("dir-cache-agreement",
+                 "Shared block " + hex(b) + " sharer vector counts " +
+                     std::to_string(e.sharer_count()) + " but " +
+                     std::to_string(shared_copies) +
+                     " cached copies exist (owner field " +
+                     std::to_string(static_cast<int>(e.owner)) + ")");
+        }
+        break;
+      case DirState::kDirty:
+      case DirState::kExcl:
+        if (e.owner == kInvalidNode || static_cast<int>(e.owner) >= nodes ||
+            e.sharers != 0 ||
+            excl_copies != 1 || shared_copies != 0) {
+          record("dir-cache-agreement",
+                 std::string(to_string(e.state)) + " block " + hex(b) +
+                     " must have exactly one writable copy at its owner; "
+                     "found " +
+                     std::to_string(excl_copies) + " writable / " +
+                     std::to_string(shared_copies) + " shared, owner " +
+                     std::to_string(static_cast<int>(e.owner)));
+        } else if (e.state == DirState::kDirty &&
+                   ((snap.modified_mask >> e.owner) & 1) == 0) {
+          record("dir-cache-agreement",
+                 "Dirty block " + hex(b) + " owner " +
+                     std::to_string(static_cast<int>(e.owner)) +
+                     " does not hold a Modified copy");
+        }
+        break;
+    }
+
+    if (e.tagged && e.tag_progress != 0) {
+      record("ls-tag", "tagged block " + hex(b) +
+                           " kept a nonzero tag hysteresis counter");
+    }
+    if (!e.tagged && e.detag_progress != 0) {
+      record("ls-tag", "untagged block " + hex(b) +
+                           " kept a nonzero de-tag hysteresis counter");
+    }
+    if (e.tag_progress >= tag_hyst || e.detag_progress >= detag_hyst) {
+      record("ls-tag", "block " + hex(b) +
+                           " hysteresis counter passed its threshold "
+                           "without firing");
+    }
+    if (baseline && e.tagged) {
+      record("ls-tag",
+             "Baseline protocol tagged block " + hex(b));
+    }
+    if (cfg.directory_scheme == DirectoryScheme::kFullMap && e.ptr_overflow) {
+      record("dir-cache-agreement",
+             "full-map directory flagged pointer overflow on " + hex(b));
+    }
+
+    blocks_[b] = snap;
+  }
+}
+
+void InvariantChecker::full_scan(const MemorySystem& ms) {
+  ms.directory().for_each(
+      [&](Addr b, const DirEntry& e) { verify_block(ms, b, e); });
+  const int nodes = ms.config().num_nodes;
+  for (int n = 0; n < nodes; ++n) {
+    if (!ms.cache(static_cast<NodeId>(n)).check_inclusion()) {
+      record("dir-cache-agreement",
+             "node " + std::to_string(n) + " violates L1/L2 inclusion");
+    }
+  }
+}
+
+void InvariantChecker::final_check(const MemorySystem& ms) {
+  full_scan(ms);
+}
+
+void InvariantChecker::check_structure(const MemorySystem& ms, NodeId node,
+                                       Addr block, bool is_read,
+                                       const BlockSnapshot& pre) {
+  const ProtocolKind kind = ms.policy().kind();
+  const bool sweep = options_.full_scan_interval != 0 &&
+                     accesses_ % options_.full_scan_interval == 0;
+  if (sweep) {
+    full_scan(ms);
+  } else {
+    // Only blocks the transaction touched can have changed: the
+    // accessed block plus the replacement victims the engine reported
+    // through note_touched.
+    touched_.push_back(block);
+    for (std::size_t i = 0; i < touched_.size(); ++i) {
+      const Addr b = touched_[i];
+      bool already_done = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        already_done = already_done || touched_[j] == b;
+      }
+      if (already_done) {
+        continue;
+      }
+      if (const DirEntry* e = ms.directory().find(b)) {
+        verify_block(ms, b, *e);
+      } else {
+        record("dir-cache-agreement",
+               "touched block " + hex(b) + " has no directory entry");
+      }
+    }
+  }
+  touched_.clear();
+
+  // Exclusive-grant legality (paper §3 rule): data-centric policies may
+  // only grant an LStemp copy of a block that was tagged when the read
+  // reached the home. (ILS grants from requester-side prediction, which
+  // an external observer cannot reconstruct; Baseline is covered by the
+  // never-grants check above.)
+  if (is_read &&
+      (kind == ProtocolKind::kLs || kind == ProtocolKind::kAd ||
+       kind == ProtocolKind::kLsAd)) {
+    const auto post = blocks_.find(block);
+    const bool fresh_grant =
+        post != blocks_.end() &&
+        ((post->second.lstemp_mask >> node) & 1) != 0 &&
+        ((pre.lstemp_mask >> node) & 1) == 0;
+    if (fresh_grant && !pre.tagged) {
+      record("ls-tag", "read by node " + std::to_string(node) +
+                           " was granted an exclusive copy of " + hex(block) +
+                           " although the block was not tagged");
+    }
+  }
+}
+
+void InvariantChecker::check_ls_tag_model(const MemorySystem& ms, NodeId node,
+                                          const AccessRequest& req, Addr block,
+                                          const BlockSnapshot& pre) {
+  const MachineConfig& cfg = ms.config();
+  if (ms.policy().kind() != ProtocolKind::kLs || !ls_model_applies(cfg)) {
+    return;
+  }
+  const auto post_it = blocks_.find(block);
+  if (post_it == blocks_.end()) {
+    return;  // Local-only access to a block the directory never saw.
+  }
+  const bool post_tagged = post_it->second.tagged;
+  const std::uint64_t self = std::uint64_t{1} << node;
+  const bool had_copy =
+      ((pre.shared_mask | pre.modified_mask | pre.lstemp_mask) & self) != 0;
+  const bool writable_copy =
+      ((pre.modified_mask | pre.lstemp_mask) & self) != 0;
+  const bool foreign_lstemp = (pre.lstemp_mask & ~self) != 0;
+
+  bool expected = pre.tagged;
+  if (!req.is_write()) {
+    if (!had_copy && foreign_lstemp) {
+      expected = false;  // §3.1 case 2: foreign read de-tags via NotLS.
+    }
+  } else if (!writable_copy) {
+    // Global write action: §3.1 tag/de-tag rules on the pre-state.
+    const bool upgrade = (pre.shared_mask & self) != 0;
+    bool lone_write_detag = false;
+    if (pre.last_reader == node) {
+      expected = true;  // Ownership request from the last reader: tag.
+    } else if (!upgrade && !cfg.protocol.keep_tag_on_lone_write) {
+      expected = false;  // Lone write: de-tag.
+      lone_write_detag = true;
+    }
+    if (!upgrade && foreign_lstemp && !lone_write_detag) {
+      expected = false;  // §3.1 case 2, foreign write flavour.
+    }
+  }
+  if (post_tagged != expected) {
+    record("ls-tag",
+           "LS tag model disagrees on " + hex(block) + " after " +
+               std::string(req.is_write() ? "write" : "read") + " by node " +
+               std::to_string(node) + ": engine has " +
+               (post_tagged ? "tagged" : "untagged") + ", §3.1 rules say " +
+               (expected ? "tagged" : "untagged"));
+  }
+}
+
+void InvariantChecker::on_access(const MemorySystem& ms, NodeId node,
+                                 const AccessRequest& req,
+                                 const AccessResult& result, Cycles now) {
+  (void)now;
+  ++accesses_;
+  check_data_value(req, result);
+
+  const Addr block =
+      req.addr & ~static_cast<Addr>(ms.config().l2.block_bytes - 1);
+  BlockSnapshot pre;
+  const auto it = blocks_.find(block);
+  if (it != blocks_.end()) {
+    pre = it->second;
+  } else {
+    // First global touch: a fresh entry starts tagged only under the
+    // §5.5 default-tagged variation (and only for policies that allow
+    // it — the directory applies the same composite rule).
+    pre.tagged = ms.config().protocol.default_tagged &&
+                 ms.policy().supports_default_tagged();
+  }
+
+  check_structure(ms, node, block, !req.is_write(), pre);
+  check_ls_tag_model(ms, node, req, block, pre);
+}
+
+}  // namespace lssim::check

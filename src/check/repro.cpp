@@ -1,0 +1,212 @@
+#include "check/repro.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/protocol_registry.hpp"
+
+namespace lssim::check {
+namespace {
+
+constexpr const char* kHeader = "lssim-repro v1";
+
+[[noreturn]] void parse_fail(int line, const std::string& what) {
+  throw std::runtime_error("repro parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+bool parse_op(const std::string& text, MemOpKind* out) {
+  if (text == "R") {
+    *out = MemOpKind::kRead;
+  } else if (text == "W") {
+    *out = MemOpKind::kWrite;
+  } else if (text == "SWAP") {
+    *out = MemOpKind::kSwap;
+  } else if (text == "FADD") {
+    *out = MemOpKind::kFetchAdd;
+  } else if (text == "CAS") {
+    *out = MemOpKind::kCas;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* op_name(MemOpKind op) noexcept {
+  switch (op) {
+    case MemOpKind::kRead: return "R";
+    case MemOpKind::kWrite: return "W";
+    case MemOpKind::kSwap: return "SWAP";
+    case MemOpKind::kFetchAdd: return "FADD";
+    case MemOpKind::kCas: return "CAS";
+  }
+  return "?";
+}
+
+std::string to_string(const ReproAccess& access) {
+  std::ostringstream os;
+  os << "access " << static_cast<int>(access.node) << ' '
+     << op_name(access.op) << " 0x" << std::hex << access.addr << std::dec
+     << ' ' << static_cast<int>(access.size) << " 0x" << std::hex
+     << access.wdata;
+  if (access.op == MemOpKind::kCas) {
+    os << " 0x" << access.expected;
+  }
+  return os.str();
+}
+
+void save_repro(std::ostream& os, const ReproTrace& trace) {
+  const MachineConfig& m = trace.machine;
+  os << kHeader << "\n";
+  os << "protocol " << protocol_name(m.protocol.kind) << "\n";
+  os << "nodes " << m.num_nodes << "\n";
+  os << "l1 " << m.l1.size_bytes << ' ' << m.l1.assoc << ' '
+     << m.l1.block_bytes << "\n";
+  os << "l2 " << m.l2.size_bytes << ' ' << m.l2.assoc << ' '
+     << m.l2.block_bytes << "\n";
+  os << "default_tagged " << (m.protocol.default_tagged ? 1 : 0) << "\n";
+  os << "tag_hysteresis " << static_cast<int>(m.protocol.tag_hysteresis)
+     << "\n";
+  os << "detag_hysteresis " << static_cast<int>(m.protocol.detag_hysteresis)
+     << "\n";
+  os << "keep_tag_on_lone_write "
+     << (m.protocol.keep_tag_on_lone_write ? 1 : 0) << "\n";
+  os << "ad_detag_on_replacement "
+     << (m.protocol.ad_detag_on_replacement ? 1 : 0) << "\n";
+  os << "directory " << lssim::to_string(m.directory_scheme) << ' '
+     << static_cast<int>(m.directory_pointers) << "\n";
+  for (const ReproAccess& access : trace.accesses) {
+    os << to_string(access) << "\n";
+  }
+  os << "end\n";
+}
+
+ReproTrace load_repro(std::istream& is) {
+  ReproTrace trace;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip trailing CR (repros may be edited on any platform).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != kHeader) {
+        parse_fail(line_no, "expected header '" + std::string(kHeader) +
+                                "', got '" + line + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key == "protocol") {
+      std::string name;
+      ls >> name;
+      const ProtocolInfo* info = find_protocol(name);
+      if (info == nullptr) parse_fail(line_no, "unknown protocol " + name);
+      trace.machine.protocol.kind = info->kind;
+    } else if (key == "nodes") {
+      int n = 0;
+      ls >> n;
+      if (!ls || n < 1 || n > kMaxNodes) parse_fail(line_no, "bad nodes");
+      trace.machine.num_nodes = n;
+    } else if (key == "l1" || key == "l2") {
+      CacheConfig cache;
+      ls >> cache.size_bytes >> cache.assoc >> cache.block_bytes;
+      if (!ls) parse_fail(line_no, "bad cache geometry");
+      (key == "l1" ? trace.machine.l1 : trace.machine.l2) = cache;
+    } else if (key == "default_tagged") {
+      int v = 0;
+      ls >> v;
+      trace.machine.protocol.default_tagged = v != 0;
+    } else if (key == "tag_hysteresis") {
+      int v = 1;
+      ls >> v;
+      trace.machine.protocol.tag_hysteresis = static_cast<std::uint8_t>(v);
+    } else if (key == "detag_hysteresis") {
+      int v = 1;
+      ls >> v;
+      trace.machine.protocol.detag_hysteresis = static_cast<std::uint8_t>(v);
+    } else if (key == "keep_tag_on_lone_write") {
+      int v = 0;
+      ls >> v;
+      trace.machine.protocol.keep_tag_on_lone_write = v != 0;
+    } else if (key == "ad_detag_on_replacement") {
+      int v = 1;
+      ls >> v;
+      trace.machine.protocol.ad_detag_on_replacement = v != 0;
+    } else if (key == "directory") {
+      std::string scheme;
+      int pointers = 4;
+      ls >> scheme >> pointers;
+      if (scheme == "full-map") {
+        trace.machine.directory_scheme = DirectoryScheme::kFullMap;
+      } else if (scheme == "limited-ptr") {
+        trace.machine.directory_scheme = DirectoryScheme::kLimitedPtr;
+      } else {
+        parse_fail(line_no, "unknown directory scheme " + scheme);
+      }
+      trace.machine.directory_pointers = static_cast<std::uint8_t>(pointers);
+    } else if (key == "access") {
+      ReproAccess access;
+      int node = 0;
+      std::string op;
+      int size = 0;
+      ls >> node >> op >> std::hex >> access.addr >> std::dec >> size >>
+          std::hex >> access.wdata;
+      if (!ls) parse_fail(line_no, "malformed access");
+      if (!parse_op(op, &access.op)) parse_fail(line_no, "unknown op " + op);
+      if (access.op == MemOpKind::kCas) {
+        ls >> access.expected;
+        if (!ls) parse_fail(line_no, "CAS access missing expected value");
+      }
+      if (node < 0 || node >= kMaxNodes) parse_fail(line_no, "bad node");
+      if (size != 1 && size != 2 && size != 4 && size != 8) {
+        parse_fail(line_no, "bad size");
+      }
+      access.node = static_cast<NodeId>(node);
+      access.size = static_cast<std::uint8_t>(size);
+      trace.accesses.push_back(access);
+    } else {
+      parse_fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (!saw_header) parse_fail(line_no, "missing header");
+  if (!saw_end) parse_fail(line_no, "missing 'end' terminator");
+  return trace;
+}
+
+void save_repro_file(const std::string& path, const ReproTrace& trace) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  save_repro(os, trace);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("failed writing repro to " + path);
+  }
+}
+
+ReproTrace load_repro_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open repro file " + path);
+  }
+  return load_repro(is);
+}
+
+}  // namespace lssim::check

@@ -1,0 +1,52 @@
+// Replays a ReproTrace through a freshly built MemorySystem with the
+// invariant checker attached: the single execution primitive shared by
+// the exhaustive explorer, the fuzzer, the shrinker and the repro
+// regression tests — a repro that fails here fails everywhere.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "check/invariants.hpp"
+#include "check/repro.hpp"
+#include "core/coherence_policy.hpp"
+
+namespace lssim::check {
+
+/// Builds the policy a verification run injects in place of the
+/// registry-resolved one. The null factory (default) uses the registry —
+/// i.e. verifies the real policies. Fault-injection tests pass a factory
+/// producing a deliberately broken policy to prove the checker catches
+/// it (see fuzzer.hpp's make_skip_detag_policy).
+using PolicyFactory =
+    std::function<std::unique_ptr<CoherencePolicy>(const MachineConfig&)>;
+
+struct TraceRunResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t total_violations = 0;
+  /// Retained violations (capped by CheckerOptions::max_violations).
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return total_violations == 0; }
+};
+
+/// Runs `trace` from a cold machine, checking invariants after every
+/// access. Deterministic: same trace, same result.
+[[nodiscard]] TraceRunResult run_trace(const ReproTrace& trace,
+                                       const PolicyFactory& policy = {},
+                                       const CheckerOptions& options = {});
+
+/// The tiny machine shape verification runs on (paper-default protocol
+/// knobs, 32 B direct-mapped L1 over a 64 B direct-mapped L2 with 16-byte
+/// blocks): small enough that a handful of accesses exercises
+/// replacements, upgrades and all four directory states.
+[[nodiscard]] MachineConfig tiny_machine(
+    int nodes, ProtocolKind kind = ProtocolKind::kBaseline);
+
+/// Block-aligned addresses verification traces touch: consecutive blocks
+/// spaced one L2-way apart so they contend for the same set and force
+/// victim/writeback paths.
+[[nodiscard]] Addr verification_block(const MachineConfig& machine,
+                                      int index);
+
+}  // namespace lssim::check

@@ -126,6 +126,9 @@ class Directory {
 
   /// Read-only lookup that does not create an entry.
   [[nodiscard]] const DirEntry* find(Addr block) const noexcept {
+    // The sentinel would false-hit the MRU check of a never-grown table
+    // (mru_key_ starts as kEmptyKey) and index an empty slot vector.
+    assert(block != kEmptyKey && "block address collides with sentinel");
     if (mru_key_ == block) {
       return &slots_[mru_index_].entry;
     }

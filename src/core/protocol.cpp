@@ -3,17 +3,20 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariants.hpp"
 #include "core/protocol_registry.hpp"
 
 namespace lssim {
 
 MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
-                           Stats& stats, Telemetry* telemetry)
+                           Stats& stats, Telemetry* telemetry,
+                           std::unique_ptr<CoherencePolicy> policy_override)
     : cfg_(config),
       lat_(config.latency),
       space_(space),
       stats_(stats),
-      policy_(make_policy(config)),
+      policy_(policy_override != nullptr ? std::move(policy_override)
+                                         : make_policy(config)),
       policy_observes_accesses_(policy_->observes_accesses()),
       net_(config.num_nodes, config.latency, stats, config.topology,
            telemetry != nullptr ? telemetry->metrics() : nullptr),
@@ -177,6 +180,9 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
                                     Cycles t) {
   if (!victim.valid()) {
     return;
+  }
+  if (checker_ != nullptr) {
+    checker_->note_touched(victim.block);
   }
   fs_.on_line_death(victim);
   const Addr block = victim.block;
@@ -597,6 +603,9 @@ AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
     fs_.on_write_words(node, block, wmask);
   }
   result.value = apply_data(req);
+  if (checker_ != nullptr) {
+    checker_->on_access(*this, node, req, result, now);
+  }
   return result;
 }
 

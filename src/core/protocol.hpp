@@ -40,6 +40,10 @@
 
 namespace lssim {
 
+namespace check {
+class InvariantChecker;  // src/check/invariants.hpp
+}
+
 /// Operation kinds a processor can issue. Atomic read-modify-writes are
 /// single coherence transactions treated as writes (like SPARC ldstub /
 /// swap), returning the old value.
@@ -81,8 +85,13 @@ class MemorySystem {
   /// protocol-event counters in the metrics registry and begin/end spans
   /// in the coherence trace. Null (the default) keeps every hook to a
   /// single branch.
+  ///
+  /// `policy_override` (optional) replaces the registry-resolved policy;
+  /// the verification subsystem uses it to inject deliberately buggy
+  /// policies (fault injection) without registering them.
   MemorySystem(const MachineConfig& config, AddressSpace& space,
-               Stats& stats, Telemetry* telemetry = nullptr);
+               Stats& stats, Telemetry* telemetry = nullptr,
+               std::unique_ptr<CoherencePolicy> policy_override = nullptr);
   ~MemorySystem();
 
   /// Executes one access atomically at simulated time `now`.
@@ -101,12 +110,27 @@ class MemorySystem {
   [[nodiscard]] IlsPredictor& predictor() noexcept {
     return *policy_->ils_predictor();
   }
+  [[nodiscard]] const CoherencePolicy& policy() const noexcept {
+    return *policy_;
+  }
   [[nodiscard]] const EventLog& event_log() const noexcept { return log_; }
   [[nodiscard]] FalseSharingClassifier& classifier() noexcept { return fs_; }
   [[nodiscard]] Network& network() noexcept { return net_; }
   [[nodiscard]] Directory& directory() noexcept { return dir_; }
+  [[nodiscard]] const Directory& directory() const noexcept { return dir_; }
   [[nodiscard]] CacheHierarchy& cache(NodeId node) noexcept {
     return caches_[node];
+  }
+  [[nodiscard]] const CacheHierarchy& cache(NodeId node) const noexcept {
+    return caches_[node];
+  }
+
+  /// Attaches (or detaches, with nullptr) the protocol invariant checker
+  /// (src/check/invariants.hpp). Same null-gated pattern as telemetry:
+  /// detached, the per-access cost is one pointer compare. The checker
+  /// must outlive this engine or be detached first.
+  void attach_checker(check::InvariantChecker* checker) noexcept {
+    checker_ = checker;
   }
 
   /// Verifies directory/cache agreement (tests): sharer maps, owner
@@ -178,6 +202,8 @@ class MemorySystem {
   // Observability (null when disabled; see src/telemetry/).
   MetricsRegistry* metrics_ = nullptr;
   CoherenceTrace* trace_ = nullptr;
+  /// Invariant checker hook (null when verification is off).
+  check::InvariantChecker* checker_ = nullptr;
   /// Per-node, per-kind counter handles (registered once at startup).
   std::vector<std::array<CounterHandle, kNumProtoEventKinds>> ev_counters_;
   // Scratch: context of the in-flight access (for oracle/log hooks).

@@ -107,6 +107,8 @@ std::string driver_usage() {
   --manifest-out F   write the versioned run manifest (JSON)
   --trace-capacity N max trace events kept per run
                      (default 1048576 when --perfetto-out is set)
+  --check-invariants verify coherence invariants after every access
+                     (docs/VERIFICATION.md; slow — exit 4 on violation)
   --help             this text
 )";
 }
@@ -169,6 +171,8 @@ bool parse_driver_args(int argc, const char* const* argv,
         return false;
       }
       options->trace_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--check-invariants") {
+      options->machine.check_invariants = true;
     } else if (arg == "--compare") {
       options->compare = true;
       options->protocols = all_protocol_kinds();

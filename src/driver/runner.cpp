@@ -8,6 +8,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
 #include "core/protocol_registry.hpp"
 #include "exec/parallel_executor.hpp"
 #include "stats/report.hpp"
@@ -210,6 +211,10 @@ DriverRun run_driver_workload_captured(const DriverOptions& options,
           run.metrics = sys.telemetry().registry().snapshot();
         }
         run.trace = sys.telemetry().coherence_trace();
+        if (const check::InvariantChecker* c = sys.invariant_checker()) {
+          run.invariant_violations = c->violation_count();
+          run.invariant_messages = c->messages();
+        }
       });
   return run;
 }

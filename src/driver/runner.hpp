@@ -41,6 +41,11 @@ struct DriverRun {
   RunResult result;
   MetricsSnapshot metrics;
   CoherenceTrace trace{0};
+  /// --check-invariants: total violations and the retained messages
+  /// (capped; see check::CheckerOptions::max_violations). Zero/empty
+  /// when checking is off or the run was clean.
+  std::uint64_t invariant_violations = 0;
+  std::vector<std::string> invariant_messages;
 };
 
 /// As run_driver_workload, additionally enabling telemetry according to

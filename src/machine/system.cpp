@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
+
 namespace lssim {
 
 System::System(const MachineConfig& config, std::uint64_t seed)
@@ -16,6 +18,10 @@ System::System(const MachineConfig& config, std::uint64_t seed)
   const std::string problem = config.validate();
   if (!problem.empty()) {
     throw std::invalid_argument("invalid MachineConfig: " + problem);
+  }
+  if (config.check_invariants) {
+    checker_ = std::make_unique<check::InvariantChecker>();
+    memory_.attach_checker(checker_.get());
   }
   procs_.reserve(static_cast<std::size_t>(config.num_nodes));
   programs_.resize(static_cast<std::size_t>(config.num_nodes));
@@ -34,6 +40,9 @@ System::System(const MachineConfig& config, std::uint64_t seed)
     }
   }
 }
+
+// Out of line: ~unique_ptr<InvariantChecker> needs the complete type.
+System::~System() = default;
 
 void System::spawn(NodeId node, SimTask<void> program) {
   assert(node < procs_.size());
@@ -138,6 +147,9 @@ void System::run() {
     proc->busy_ = 0;
   }
   memory_.finalize();
+  if (checker_) {
+    checker_->final_check(memory_);
+  }
   if (MetricsRegistry* m = telemetry_.metrics()) {
     m->set(exec_time_g_, static_cast<std::int64_t>(exec_time()));
   }

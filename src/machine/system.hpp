@@ -27,6 +27,7 @@ namespace lssim {
 class System {
  public:
   explicit System(const MachineConfig& config, std::uint64_t seed = 1);
+  ~System();
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -66,6 +67,13 @@ class System {
   /// program completion.
   [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
 
+  /// The attached invariant checker when config.check_invariants is on,
+  /// else null. Violations accumulate there across the whole run.
+  [[nodiscard]] const check::InvariantChecker* invariant_checker()
+      const noexcept {
+    return checker_.get();
+  }
+
   /// Keeps a workload context alive for the duration of the simulation
   /// (programs capture references into it).
   void retain(std::shared_ptr<void> context) {
@@ -87,6 +95,10 @@ class System {
   SharedHeap heap_;
   Telemetry telemetry_;  ///< Must outlive memory_ (handles point into it).
   MemorySystem memory_;
+  /// Owned invariant checker (config.check_invariants); attached to
+  /// memory_ right after construction, detached never — memory_ makes no
+  /// hook calls during destruction.
+  std::unique_ptr<check::InvariantChecker> checker_;
   std::vector<std::unique_ptr<Processor>> procs_;
   std::vector<SimTask<void>> programs_;  // Index-aligned with procs_.
   std::vector<std::shared_ptr<void>> retained_;

@@ -33,8 +33,10 @@ class Network {
   /// The route's physical links serialise messages: on each hop the
   /// message departs no earlier than the link's free time, occupies the
   /// link for `link_occupancy` cycles, and arrives `hop` cycles after
-  /// departing. Node-internal transfers are not messages; callers must
-  /// ensure src != dst.
+  /// departing. Node-internal transfers are not messages: src == dst
+  /// throws std::logic_error (before any statistic is touched) in every
+  /// build type, since a self-send would silently inflate the message
+  /// counts the figures are built from.
   Cycles send(NodeId src, NodeId dst, MsgType type, Cycles now);
 
   /// Number of physical hops between two nodes under this topology.

@@ -213,6 +213,13 @@ struct MachineConfig {
   /// Observability: metrics registry and coherence-trace recording.
   TelemetryConfig telemetry;
 
+  /// Attach the protocol invariant checker (src/check/invariants.hpp) to
+  /// the memory system and verify SWMR / data-value / directory-cache
+  /// agreement / LS-tag consistency after every access. Off (default)
+  /// costs one pointer compare per access; on costs a full directory ×
+  /// cache scan per access — a verification mode, not a measurement mode.
+  bool check_invariants = false;
+
   /// Watchdog: when nonzero, System::run() stops once any processor's
   /// clock passes this budget and reports timed_out() — turning workload
   /// livelocks (e.g. an unfair lock under a pathological schedule) into

@@ -1,0 +1,114 @@
+// Fuzzer and shrinker: fixed-seed sweeps stay green over all registered
+// protocols, determinism holds (same seed, same result), and the ddmin
+// shrinker reduces an injected-fault failure to the known-minimal
+// 4-access repro. Seeds here are pinned — a failure is a regression, not
+// flakiness; exploratory seeds belong in `lssim_fuzz fuzz`.
+#include "check/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_registry.hpp"
+
+namespace lssim::check {
+namespace {
+
+TEST(Fuzzer, FixedSeedSweepIsCleanAcrossProtocols) {
+  FuzzOptions options;
+  options.seed = 2026;
+  options.iterations = 150;
+  const FuzzResult result = run_fuzzer(options);
+  EXPECT_TRUE(result.ok()) << (result.messages.empty()
+                                   ? "?"
+                                   : result.messages.front());
+  EXPECT_EQ(result.traces, 150u);
+  EXPECT_EQ(result.accesses, 150u * 48u);
+}
+
+TEST(Fuzzer, SameSeedIsDeterministic) {
+  FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 40;
+  const FuzzResult a = run_fuzzer(options);
+  const FuzzResult b = run_fuzzer(options);
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.failing_traces, b.failing_traces);
+}
+
+TEST(Fuzzer, PinnedKnobSweepIsClean) {
+  // randomize_knobs off pins the paper-default knobs — the configuration
+  // the LS tag model checks most strictly.
+  FuzzOptions options;
+  options.seed = 99;
+  options.iterations = 100;
+  options.randomize_knobs = false;
+  options.protocols = {ProtocolKind::kLs, ProtocolKind::kLsAd};
+  const FuzzResult result = run_fuzzer(options);
+  EXPECT_TRUE(result.ok()) << (result.messages.empty()
+                                   ? "?"
+                                   : result.messages.front());
+}
+
+TEST(Fuzzer, InjectedFaultIsCaughtAndShrunkSmall) {
+  // The acceptance bar from the verification plan: a policy that skips
+  // the §3.1 de-tag rule must be caught with a shrunk repro of at most
+  // 12 accesses (the known-minimal repro is 4).
+  FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 50;
+  options.trace_length = 32;
+  options.randomize_knobs = false;
+  options.protocols = {ProtocolKind::kLs};
+  options.max_failures = 1;
+  const FuzzResult result = run_fuzzer(options, skip_detag_policy_factory());
+  ASSERT_GT(result.failing_traces, 0u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_LE(result.failures.front().accesses.size(), 12u);
+  ASSERT_FALSE(result.messages.empty());
+  EXPECT_NE(result.messages.front().find("ls-tag"), std::string::npos);
+}
+
+TEST(Shrinker, ProducesOneMinimalRepro) {
+  // Start from a failing trace padded with noise; ddmin must strip every
+  // removable access (1-minimal: removing any single access un-fails).
+  ReproTrace padded;
+  padded.machine = tiny_machine(3);
+  const Addr b0 = verification_block(padded.machine, 0);
+  const Addr b1 = verification_block(padded.machine, 1);
+  padded.accesses = {
+      {2, MemOpKind::kRead, b1, 8, 0, 0},      // Noise.
+      {0, MemOpKind::kRead, b0, 8, 0, 0},      // Establish LR = 0.
+      {1, MemOpKind::kWrite, b1, 8, 0x3, 0},   // Noise.
+      {0, MemOpKind::kWrite, b0, 8, 0x1, 0},   // Tag (LR == writer).
+      {2, MemOpKind::kRead, b1, 8, 0, 0},      // Noise.
+      {1, MemOpKind::kRead, b0, 8, 0, 0},      // Exclusive grant to 1.
+      {0, MemOpKind::kRead, b0, 8, 0, 0},      // Foreign read: must de-tag.
+  };
+  const CheckerOptions checker{.full_scan_interval = 1};
+  ASSERT_FALSE(run_trace(padded, skip_detag_policy_factory(), checker).ok());
+
+  const ReproTrace shrunk =
+      shrink_repro(padded, skip_detag_policy_factory(), checker);
+  EXPECT_EQ(shrunk.accesses.size(), 4u);
+  ASSERT_FALSE(run_trace(shrunk, skip_detag_policy_factory(), checker).ok());
+  for (std::size_t drop = 0; drop < shrunk.accesses.size(); ++drop) {
+    ReproTrace thinner;
+    thinner.machine = shrunk.machine;
+    for (std::size_t i = 0; i < shrunk.accesses.size(); ++i) {
+      if (i != drop) thinner.accesses.push_back(shrunk.accesses[i]);
+    }
+    EXPECT_TRUE(run_trace(thinner, skip_detag_policy_factory(), checker).ok())
+        << "shrunk repro not 1-minimal: access " << drop << " is removable";
+  }
+}
+
+TEST(Shrinker, PassingTraceIsReturnedUnchanged) {
+  ReproTrace trace;
+  trace.machine = tiny_machine(2);
+  trace.accesses = {{0, MemOpKind::kRead, 0, 8, 0, 0}};
+  const ReproTrace out = shrink_repro(trace);
+  EXPECT_EQ(out.accesses, trace.accesses);
+}
+
+}  // namespace
+}  // namespace lssim::check

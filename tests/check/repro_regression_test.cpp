@@ -1,0 +1,108 @@
+// Checked-in repro traces (tests/check/repros/*.repro) replayed under
+// the invariant checker, plus round-trip coverage of the text format.
+// Each repro pins a protocol corner the verification subsystem once had
+// to reason about carefully; they must stay green under the real
+// policies, and the foreign-read repro must keep tripping the checker
+// under the deliberately broken skip-de-tag policy — proving the trace
+// still exercises the rule it was written for.
+#include "check/repro.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.hpp"
+#include "check/trace_runner.hpp"
+
+namespace lssim::check {
+namespace {
+
+constexpr CheckerOptions kStrict{.full_scan_interval = 1};
+
+std::string repro_path(const char* name) {
+  return std::string(LSSIM_REPRO_DIR) + "/" + name;
+}
+
+TEST(ReproRegression, DetagOnForeignReadBeforeOwningWrite) {
+  const ReproTrace trace =
+      load_repro_file(repro_path("detag-on-foreign-read.repro"));
+  ASSERT_EQ(trace.accesses.size(), 4u);
+  EXPECT_EQ(trace.machine.protocol.kind, ProtocolKind::kLs);
+  const TraceRunResult run = run_trace(trace, {}, kStrict);
+  EXPECT_TRUE(run.ok()) << run.violations.front().message();
+
+  // The trace is load-bearing: the policy that forgets the §3.1 de-tag
+  // rule must fail it, on the foreign read itself.
+  const TraceRunResult broken =
+      run_trace(trace, skip_detag_policy_factory(), kStrict);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.violations.front().invariant, "ls-tag");
+  EXPECT_EQ(broken.violations.front().access_index, 4u);
+}
+
+TEST(ReproRegression, NotLsRaceWithReplacementAndForeignWrite) {
+  const ReproTrace trace = load_repro_file(repro_path("notls-race.repro"));
+  ASSERT_EQ(trace.accesses.size(), 6u);
+  EXPECT_EQ(trace.machine.num_nodes, 3);
+  const TraceRunResult run = run_trace(trace, {}, kStrict);
+  EXPECT_TRUE(run.ok()) << run.violations.front().message();
+}
+
+TEST(ReproRegression, LsAdFallbackAtUpgrade) {
+  const ReproTrace trace =
+      load_repro_file(repro_path("lsad-upgrade-fallback.repro"));
+  ASSERT_EQ(trace.machine.protocol.kind, ProtocolKind::kLsAd);
+  const TraceRunResult run = run_trace(trace, {}, kStrict);
+  EXPECT_TRUE(run.ok()) << run.violations.front().message();
+}
+
+TEST(ReproFormat, SaveLoadRoundTripsExactly) {
+  ReproTrace trace;
+  trace.machine = tiny_machine(4, ProtocolKind::kLsAd);
+  trace.machine.protocol.default_tagged = true;
+  trace.machine.protocol.tag_hysteresis = 2;
+  trace.machine.protocol.keep_tag_on_lone_write = true;
+  trace.machine.directory_scheme = DirectoryScheme::kLimitedPtr;
+  trace.machine.directory_pointers = 2;
+  trace.accesses = {
+      {0, MemOpKind::kRead, 0x0, 8, 0, 0},
+      {3, MemOpKind::kWrite, 0x40, 8, 0xdeadbeef, 0},
+      {1, MemOpKind::kCas, 0x48, 8, 0x1, 0x2},
+      {2, MemOpKind::kFetchAdd, 0x0, 4, 0x10, 0},
+  };
+
+  std::stringstream ss;
+  save_repro(ss, trace);
+  const ReproTrace loaded = load_repro(ss);
+
+  EXPECT_EQ(loaded.machine.protocol.kind, trace.machine.protocol.kind);
+  EXPECT_EQ(loaded.machine.num_nodes, trace.machine.num_nodes);
+  EXPECT_EQ(loaded.machine.l2.block_bytes, trace.machine.l2.block_bytes);
+  EXPECT_EQ(loaded.machine.protocol.default_tagged, true);
+  EXPECT_EQ(loaded.machine.protocol.tag_hysteresis, 2);
+  EXPECT_EQ(loaded.machine.protocol.keep_tag_on_lone_write, true);
+  EXPECT_EQ(loaded.machine.directory_scheme, DirectoryScheme::kLimitedPtr);
+  EXPECT_EQ(loaded.machine.directory_pointers, 2);
+  EXPECT_EQ(loaded.accesses, trace.accesses);
+}
+
+TEST(ReproFormat, MalformedInputsFailWithLineNumbers) {
+  const auto load_text = [](const char* text) {
+    std::stringstream ss(text);
+    return load_repro(ss);
+  };
+  EXPECT_THROW((void)load_text("not a repro\n"), std::runtime_error);
+  EXPECT_THROW((void)load_text("lssim-repro v1\n"), std::runtime_error);
+  EXPECT_THROW(
+      (void)load_text("lssim-repro v1\nprotocol Bogus\nend\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)load_text("lssim-repro v1\naccess 0 R zzz\nend\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)load_text("lssim-repro v1\naccess 0 R 0x0 3 0x0\nend\n"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lssim::check

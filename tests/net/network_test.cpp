@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "stats/stats.hpp"
@@ -71,6 +73,19 @@ TEST(Network, BackToBackBurstQueuesLinearly) {
     arrival = net.send(0, 1, MsgType::kInval, 0);
   }
   EXPECT_EQ(arrival, 40u + 4 * 8);
+}
+
+TEST(Network, SelfSendThrowsWithoutTouchingStats) {
+  // Regression: a src == dst send used to be an assert only. The routing
+  // loop no-ops for it, so in release builds it silently inflated the
+  // message counts and traffic matrix the figures are built from. It now
+  // throws in every build type, before any statistic is updated.
+  Stats stats(4);
+  Network net(4, default_lat(), stats);
+  (void)net.send(0, 1, MsgType::kReadReq, 0);
+  EXPECT_THROW((void)net.send(2, 2, MsgType::kReadReq, 0), std::logic_error);
+  EXPECT_EQ(stats.messages_total(), 1u);  // Only the legal send counted.
+  EXPECT_EQ(stats.network_hops, 1u);
 }
 
 TEST(MsgClass, TaxonomyMatchesPaper) {

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/bench_compare.py.
+
+Invokes the script as a subprocess, the way CI does. The key regression:
+a baseline captured with a zero or missing total `serial_seconds` (an
+interrupted run, or a synthetic capture) must not crash the comparison
+with a ZeroDivisionError and must still print the total summary line.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.environ.get(
+    "BENCH_COMPARE",
+    os.path.join(os.path.dirname(__file__), "..", "..", "tools",
+                 "bench_compare.py"),
+)
+
+
+def capture(figures, total, jobs=4, speedup=2.0):
+    doc = {"figures": figures, "jobs": jobs, "speedup": speedup}
+    if total is not None:
+        doc["serial_seconds"] = total
+    return doc
+
+
+def fig(name, seconds):
+    f = {"name": name}
+    if seconds is not None:
+        f["serial_seconds"] = seconds
+    return f
+
+
+def run_compare(old_doc, new_doc, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = os.path.join(tmp, "old.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(old_path, "w") as f:
+            json.dump(old_doc, f)
+        with open(new_path, "w") as f:
+            json.dump(new_doc, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, old_path, new_path, *extra],
+            capture_output=True,
+            text=True,
+        )
+
+
+class BenchCompareTest(unittest.TestCase):
+    def test_zero_old_total_prints_summary_without_crashing(self):
+        old = capture([fig("fig4", 1.0)], total=0.0)
+        new = capture([fig("fig4", 1.0)], total=3.5)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("total serial: 0.00s -> 3.50s (+0.0%)", proc.stdout)
+
+    def test_missing_old_total_prints_summary_without_crashing(self):
+        old = capture([fig("fig4", 1.0)], total=None)
+        new = capture([fig("fig4", 1.0)], total=3.5)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("total serial", proc.stdout)
+
+    def test_zero_per_figure_serial_does_not_divide(self):
+        old = capture([fig("fig4", 0.0)], total=0.0)
+        new = capture([fig("fig4", 2.0)], total=2.0)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_missing_fields_everywhere_still_compares(self):
+        old = capture([fig("fig4", None), fig("gone", None)], total=None)
+        new = capture([fig("fig4", None), fig("fresh", None)], total=None,
+                      speedup=None)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertIn("new figure", proc.stdout)
+        self.assertIn("removed", proc.stdout)
+
+    def test_regression_still_fails(self):
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        new = capture([fig("fig4", 2.0)], total=2.0)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("FAIL", proc.stderr)
+
+    def test_within_threshold_passes(self):
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        new = capture([fig("fig4", 1.05)], total=1.05)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("total serial: 1.00s -> 1.05s (+5.0%)", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

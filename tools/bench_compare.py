@@ -54,11 +54,12 @@ def main():
     for name, new_fig in new_figs.items():
         old_fig = old_figs.get(name)
         if old_fig is None:
-            print(f"{name:<24} {'-':>9} {new_fig['serial_seconds']:>9.3f} "
+            print(f"{name:<24} {'-':>9} "
+                  f"{new_fig.get('serial_seconds', 0.0):>9.3f} "
                   f"{'-':>8}  new figure")
             continue
-        old_s = old_fig["serial_seconds"]
-        new_s = new_fig["serial_seconds"]
+        old_s = old_fig.get("serial_seconds", 0.0)
+        new_s = new_fig.get("serial_seconds", 0.0)
         delta = (new_s - old_s) / old_s if old_s > 0 else 0.0
         verdict = "ok"
         if delta > args.threshold:
@@ -70,16 +71,20 @@ def main():
               f"{verdict}")
     for name in old_figs:
         if name not in new_figs:
-            print(f"{name:<24} {old_figs[name]['serial_seconds']:>9.3f} "
+            print(f"{name:<24} "
+                  f"{old_figs[name].get('serial_seconds', 0.0):>9.3f} "
                   f"{'-':>9} {'-':>8}  removed")
 
+    # Always print the total summary; an old total of zero (interrupted
+    # or synthetic capture) just reports no delta instead of dividing.
     old_total = old_doc.get("serial_seconds", 0.0)
     new_total = new_doc.get("serial_seconds", 0.0)
-    if old_total > 0:
-        print(f"\ntotal serial: {old_total:.2f}s -> {new_total:.2f}s "
-              f"({(new_total - old_total) / old_total:+.1%}); "
-              f"speedup at --jobs {new_doc.get('jobs')}: "
-              f"{new_doc.get('speedup', 0):.2f}x")
+    total_delta = ((new_total - old_total) / old_total if old_total > 0
+                   else 0.0)
+    print(f"\ntotal serial: {old_total:.2f}s -> {new_total:.2f}s "
+          f"({total_delta:+.1%}); "
+          f"speedup at --jobs {new_doc.get('jobs')}: "
+          f"{new_doc.get('speedup') or 0:.2f}x")
 
     if regressions:
         worst = max(regressions, key=lambda r: r[1])

@@ -3,7 +3,8 @@
 //
 // Exit codes: 0 success, 1 runtime error (bad workload parameters,
 // invalid machine config), 2 usage error, 3 output I/O failure (results
-// or a --*-out artifact could not be fully written).
+// or a --*-out artifact could not be fully written), 4 coherence
+// invariant violation (--check-invariants; details on stderr).
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -58,6 +59,22 @@ int main(int argc, char** argv) {
     if (!write_driver_artifacts(options, runs, wall_seconds, &error)) {
       std::fprintf(stderr, "lssim_run: %s\n", error.c_str());
       return 3;
+    }
+    // --check-invariants: artifacts above are still written (they help
+    // debug the violation), but the run must not exit 0.
+    std::uint64_t violations = 0;
+    for (const DriverRun& run : runs) {
+      violations += run.invariant_violations;
+      for (const std::string& message : run.invariant_messages) {
+        std::fprintf(stderr, "lssim_run: [%s] %s\n",
+                     to_string(run.result.protocol), message.c_str());
+      }
+    }
+    if (violations > 0) {
+      std::fprintf(stderr,
+                   "lssim_run: %llu coherence invariant violation(s)\n",
+                   static_cast<unsigned long long>(violations));
+      return 4;
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "lssim_run: %s\n", ex.what());
