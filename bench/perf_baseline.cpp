@@ -191,6 +191,15 @@ int main(int argc, char** argv) {
   const std::vector<RunSpec> suite = build_suite(quick);
   std::fprintf(stderr, "perf_baseline: %zu simulations, parallel pass at "
                "--jobs %d%s\n", suite.size(), jobs, quick ? " (quick)" : "");
+  if (default_jobs() <= 1) {
+    // Machine-readable provenance for the known artifact: on a 1-core
+    // host the parallel pass can only time-slice, so the speedup number
+    // measures executor overhead, not parallel gain
+    // (tools/bench_compare.py surfaces this when comparing).
+    notes.emplace_back(
+        "single-core host: the parallel pass time-slices, so 'speedup' "
+        "measures executor overhead, not parallel gain");
+  }
 
   // Serial pass: per-run wall clock, one simulation at a time.
   std::vector<RunTiming> serial(suite.size());

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/protocol_registry.hpp"
+#include "exec/heartbeat.hpp"
 #include "sim/rng.hpp"
 
 namespace lssim::check {
@@ -26,10 +27,10 @@ class SkipDetagLsPolicy final : public CoherencePolicy {
   WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
                                    bool upgrade) override {
     if (entry.last_reader == writer) {
-      return {TagAction::kTag, false};
+      return {TagAction::kTag, false, TagReason::kLsSequence};
     }
     if (!upgrade && !keep_tag_on_lone_write_) {
-      return {TagAction::kDetag, true};
+      return {TagAction::kDetag, true, TagReason::kLoneWrite};
     }
     return {};
   }
@@ -160,15 +161,27 @@ FuzzResult run_fuzzer(const FuzzOptions& options, const PolicyFactory& policy) {
 
   Rng rng(options.seed);
   for (int i = 0; i < options.iterations; ++i) {
-    const ReproTrace trace = random_trace(rng, options, kinds);
-    const TraceRunResult run = run_trace(trace, policy, options.checker);
+    ReproTrace trace;
+    {
+      const PhaseTimer timer(options.heartbeat, "generate");
+      trace = random_trace(rng, options, kinds);
+    }
+    TraceRunResult run;
+    {
+      const PhaseTimer timer(options.heartbeat, "check");
+      run = run_trace(trace, policy, options.checker);
+    }
     result.traces += 1;
     result.accesses += run.accesses;
+    if (options.heartbeat != nullptr) {
+      options.heartbeat->unit_done(run.accesses);
+    }
     if (run.ok()) {
       continue;
     }
     result.failing_traces += 1;
     if (result.failures.size() < options.max_failures) {
+      const PhaseTimer timer(options.heartbeat, "shrink");
       ReproTrace repro = trace;
       if (!run.violations.empty()) {
         // Everything after the first violating access is noise.

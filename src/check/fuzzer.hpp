@@ -17,6 +17,10 @@
 
 #include "check/trace_runner.hpp"
 
+namespace lssim {
+class HeartbeatEmitter;  // exec/heartbeat.hpp
+}
+
 namespace lssim::check {
 
 struct FuzzOptions {
@@ -37,6 +41,10 @@ struct FuzzOptions {
   std::size_t max_failures = 4;
   /// Tiny configs afford the strictest mode: full sweep every access.
   CheckerOptions checker{.full_scan_interval = 1};
+  /// Progress reporting for long campaigns (exec/heartbeat.hpp): one
+  /// unit_done per checked trace, phases "generate"/"check"/"shrink".
+  /// Null (default) = off.
+  HeartbeatEmitter* heartbeat = nullptr;
 };
 
 struct FuzzResult {

@@ -41,6 +41,34 @@ class IlsPredictor;
 /// (MemorySystem::tag_event / detag_event).
 enum class TagAction : std::uint8_t { kNone, kTag, kDetag };
 
+/// Why a tag/de-tag decision was made — the audit trail's reason code
+/// (telemetry/audit.hpp). The engine knows the reason at three of its
+/// four hook sites (foreign access, replacement, upgrade invalidations);
+/// on_global_write decisions carry their reason in WriteTagDecision
+/// because only the policy knows which of its rules fired.
+enum class TagReason : std::uint8_t {
+  kLsSequence,           ///< §3.1: ownership request source == LR field.
+  kMigratoryDetect,      ///< AD: unbroken read→write hand-off at upgrade.
+  kMigratoryFallback,    ///< LS+AD hybrid: AD evidence where LR is blind.
+  kLoneWrite,            ///< Write miss without the writer's own read.
+  kForeignAccess,        ///< Foreign access hit an LStemp owner (§3.1).
+  kReplacement,          ///< Owning copy replaced (hand-off chain broken).
+  kUpgradeInvalidations, ///< Upgrade invalidated several copies (AD).
+};
+
+[[nodiscard]] constexpr const char* to_string(TagReason reason) noexcept {
+  switch (reason) {
+    case TagReason::kLsSequence: return "ls-sequence";
+    case TagReason::kMigratoryDetect: return "migratory-detect";
+    case TagReason::kMigratoryFallback: return "migratory-fallback";
+    case TagReason::kLoneWrite: return "lone-write";
+    case TagReason::kForeignAccess: return "foreign-access";
+    case TagReason::kReplacement: return "replacement";
+    case TagReason::kUpgradeInvalidations: return "upgrade-invalidations";
+  }
+  return "?";
+}
+
 /// Decision returned by CoherencePolicy::on_global_write.
 struct WriteTagDecision {
   TagAction action = TagAction::kNone;
@@ -49,6 +77,8 @@ struct WriteTagDecision {
   /// de-tag a second time when the same transaction later finds the old
   /// owner's copy in LStemp.
   bool lone_write_detag = false;
+  /// Which rule fired (audit trail); meaningless when action is kNone.
+  TagReason reason = TagReason::kLsSequence;
 };
 
 class CoherencePolicy {

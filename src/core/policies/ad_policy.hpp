@@ -30,7 +30,7 @@ class AdPolicy final : public CoherencePolicy {
         entry.sharers & ~(std::uint64_t{1} << writer);
     if (entry.last_writer != kInvalidNode && entry.last_writer != writer &&
         others == (std::uint64_t{1} << entry.last_writer)) {
-      return {TagAction::kTag, false};
+      return {TagAction::kTag, false, TagReason::kMigratoryDetect};
     }
     return {};
   }

@@ -33,13 +33,14 @@ class LsAdHybridPolicy final : public CoherencePolicy {
   WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
                                    bool upgrade) override {
     if (entry.last_reader == writer) {
-      return {TagAction::kTag, false};  // LS evidence dominates.
+      // LS evidence dominates.
+      return {TagAction::kTag, false, TagReason::kLsSequence};
     }
     if (upgrade && migratory_evidence(entry, writer)) {
-      return {TagAction::kTag, false};  // AD fallback.
+      return {TagAction::kTag, false, TagReason::kMigratoryFallback};
     }
     if (!upgrade && !keep_tag_on_lone_write_) {
-      return {TagAction::kDetag, true};
+      return {TagAction::kDetag, true, TagReason::kLoneWrite};
     }
     return {};
   }

@@ -26,10 +26,10 @@ class LsPolicy final : public CoherencePolicy {
   WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
                                    bool upgrade) override {
     if (entry.last_reader == writer) {
-      return {TagAction::kTag, false};
+      return {TagAction::kTag, false, TagReason::kLsSequence};
     }
     if (!upgrade && !keep_tag_on_lone_write_) {
-      return {TagAction::kDetag, true};
+      return {TagAction::kDetag, true, TagReason::kLoneWrite};
     }
     return {};
   }

@@ -26,7 +26,8 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
       oracle_(true),
       log_(config.event_log_capacity),
       metrics_(telemetry != nullptr ? telemetry->metrics() : nullptr),
-      trace_(telemetry != nullptr ? telemetry->trace() : nullptr) {
+      trace_(telemetry != nullptr ? telemetry->trace() : nullptr),
+      audit_(telemetry != nullptr ? telemetry->audit() : nullptr) {
   assert(config.validate().empty());
   caches_.reserve(static_cast<std::size_t>(config.num_nodes));
   for (int n = 0; n < config.num_nodes; ++n) {
@@ -47,6 +48,14 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
                         std::string("coherence.") + to_string(kind), labels);
       }
     }
+    // Ownership-latency profiling: one histogram per transaction kind,
+    // fed with issue->grant cycles at the end of each global transaction.
+    lat_read_miss_ =
+        metrics_->histogram("ownership.latency", {{"op", "read-miss"}});
+    lat_write_miss_ =
+        metrics_->histogram("ownership.latency", {{"op", "write-miss"}});
+    lat_upgrade_ =
+        metrics_->histogram("ownership.latency", {{"op", "upgrade"}});
   }
 }
 
@@ -106,8 +115,14 @@ std::uint64_t MemorySystem::apply_data(const AccessRequest& req) {
   return 0;
 }
 
-void MemorySystem::tag_event(DirEntry& entry) {
-  entry.detag_progress = 0;
+void MemorySystem::tag_event(DirEntry& entry, TagReason reason, Addr block,
+                             NodeId node) {
+  // Positive evidence resets any de-tag hysteresis progress; audit the
+  // reset only when it actually rewinds a counter.
+  if (entry.detag_progress != 0) {
+    entry.detag_progress = 0;
+    audit_event(TagAuditEvent::kDetagProgress, reason, entry, block, node);
+  }
   if (entry.tagged) {
     return;
   }
@@ -120,11 +135,18 @@ void MemorySystem::tag_event(DirEntry& entry) {
     count_event(current_node_, ProtoEventKind::kTag);
     trace_instant(current_node_, ProtoEventKind::kTag, current_block_,
                   current_time_);
+    audit_event(TagAuditEvent::kTag, reason, entry, block, node);
+  } else {
+    audit_event(TagAuditEvent::kTagProgress, reason, entry, block, node);
   }
 }
 
-void MemorySystem::detag_event(DirEntry& entry) {
-  entry.tag_progress = 0;
+void MemorySystem::detag_event(DirEntry& entry, TagReason reason, Addr block,
+                               NodeId node) {
+  if (entry.tag_progress != 0) {
+    entry.tag_progress = 0;
+    audit_event(TagAuditEvent::kTagProgress, reason, entry, block, node);
+  }
   if (!entry.tagged) {
     return;
   }
@@ -137,18 +159,23 @@ void MemorySystem::detag_event(DirEntry& entry) {
     count_event(current_node_, ProtoEventKind::kDetag);
     trace_instant(current_node_, ProtoEventKind::kDetag, current_block_,
                   current_time_);
+    audit_event(TagAuditEvent::kDetag, reason, entry, block, node);
+  } else {
+    audit_event(TagAuditEvent::kDetagProgress, reason, entry, block, node);
   }
 }
 
-void MemorySystem::apply_tag_action(TagAction action, DirEntry& entry) {
+void MemorySystem::apply_tag_action(TagAction action, DirEntry& entry,
+                                    TagReason reason, Addr block,
+                                    NodeId node) {
   switch (action) {
     case TagAction::kNone:
       break;
     case TagAction::kTag:
-      tag_event(entry);
+      tag_event(entry, reason, block, node);
       break;
     case TagAction::kDetag:
-      detag_event(entry);
+      detag_event(entry, reason, block, node);
       break;
   }
 }
@@ -191,7 +218,8 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
   // Policy decision: does replacing this copy drop the tag? (AD's
   // migratory hand-off chain breaks here; LS's home-resident bit and the
   // LS+AD hybrid survive replacements by design.)
-  apply_tag_action(policy_->on_victim_writeback(e, victim.state), e);
+  apply_tag_action(policy_->on_victim_writeback(e, victim.state), e,
+                   TagReason::kReplacement, block, node);
   switch (victim.state) {
     case CacheState::kShared:
       assert(e.state == DirState::kShared && e.is_sharer(node));
@@ -306,7 +334,8 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
         policy_->on_exclusive_grant_unused(owner,
                                            oc.l2().find(block)->grant_site);
         oc.set_state(block, CacheState::kShared);
-        apply_tag_action(policy_->on_foreign_access(e), e);
+        apply_tag_action(policy_->on_foreign_access(e), e,
+                         TagReason::kForeignAccess, block, node);
         stats_.notls_messages += 1;
         log_.record(now, ProtoEventKind::kNotLs, block, owner, e.state,
                     e.tagged);
@@ -369,6 +398,7 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
   }
   fs_.on_fill(node, block, *filled);
   trace_span(node, ProtoEventKind::kReadMiss, block, now, t);
+  observe_latency(lat_read_miss_, t - now);
   return t;
 }
 
@@ -387,7 +417,7 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
   // the LR field and the sharer set as they were at the request).
   const WriteTagDecision tag_decision =
       policy_->on_global_write(e, node, upgrade);
-  apply_tag_action(tag_decision.action, e);
+  apply_tag_action(tag_decision.action, e, tag_decision.reason, block, node);
   const bool lone_write_detag = tag_decision.lone_write_detag;
   oracle_.on_global_write(node, block, /*eliminated=*/false, current_tag_);
   e.last_writer = node;
@@ -425,7 +455,8 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
     const int count = __builtin_popcountll(others);
     // AD-style de-detection: a write invalidating several copies is
     // evidence the block is read-shared, not migratory.
-    apply_tag_action(policy_->on_upgrade_invalidations(e, count), e);
+    apply_tag_action(policy_->on_upgrade_invalidations(e, count), e,
+                     TagReason::kUpgradeInvalidations, block, node);
     stats_.invalidations_sent += static_cast<std::uint64_t>(count);
     if (count == 1) {
       stats_.single_invalidations += 1;
@@ -502,7 +533,8 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
           policy_->on_exclusive_grant_unused(
               owner, caches_[owner].l2().find(block)->grant_site);
           if (!lone_write_detag) {
-            apply_tag_action(policy_->on_foreign_access(e), e);
+            apply_tag_action(policy_->on_foreign_access(e), e,
+                             TagReason::kForeignAccess, block, node);
           }
           t2 += lat_.l2_access;
         } else {
@@ -529,6 +561,8 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
   trace_span(node,
              upgrade ? ProtoEventKind::kUpgrade : ProtoEventKind::kWriteMiss,
              block, now, completion);
+  observe_latency(upgrade ? lat_upgrade_ : lat_write_miss_,
+                  completion - now);
   return completion;
 }
 

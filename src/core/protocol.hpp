@@ -171,11 +171,34 @@ class MemorySystem {
       trace_->instant(node, kind, block, time);
     }
   }
+  /// Ownership-latency profiling: one sample per completed coherence
+  /// transaction (issue -> grant, cycles).
+  void observe_latency(HistogramHandle h, Cycles latency) {
+    if (metrics_ != nullptr) {
+      metrics_->observe(h, latency);
+    }
+  }
+  /// Tag-decision audit: records `entry`'s state AFTER the transition.
+  /// `block`/`node` are passed explicitly (not taken from current_*)
+  /// because victim writebacks audit a different block than the one the
+  /// in-flight access targets.
+  void audit_event(TagAuditEvent event, TagReason reason,
+                   const DirEntry& entry, Addr block, NodeId node) {
+    if (audit_ != nullptr) {
+      audit_->record(current_time_, block, node, event, reason,
+                     entry.tag_progress, entry.detag_progress, entry.tagged);
+    }
+  }
 
-  void tag_event(DirEntry& entry);
-  void detag_event(DirEntry& entry);
-  /// Applies a policy decision through the tag/de-tag machinery.
-  void apply_tag_action(TagAction action, DirEntry& entry);
+  void tag_event(DirEntry& entry, TagReason reason, Addr block, NodeId node);
+  void detag_event(DirEntry& entry, TagReason reason, Addr block,
+                   NodeId node);
+  /// Applies a policy decision through the tag/de-tag machinery. `reason`
+  /// is the audit reason code of the rule that produced `action`;
+  /// `block`/`node` identify the audited block and the node whose access
+  /// caused the decision (requester, or evicting node for replacements).
+  void apply_tag_action(TagAction action, DirEntry& entry, TagReason reason,
+                        Addr block, NodeId node);
 
   [[nodiscard]] HomeStateAtMiss classify_home_state(Addr block,
                                                     const DirEntry& e) const;
@@ -202,10 +225,16 @@ class MemorySystem {
   // Observability (null when disabled; see src/telemetry/).
   MetricsRegistry* metrics_ = nullptr;
   CoherenceTrace* trace_ = nullptr;
+  TagAuditLog* audit_ = nullptr;
   /// Invariant checker hook (null when verification is off).
   check::InvariantChecker* checker_ = nullptr;
   /// Per-node, per-kind counter handles (registered once at startup).
   std::vector<std::array<CounterHandle, kNumProtoEventKinds>> ev_counters_;
+  /// Ownership-latency histograms (`ownership.latency{op=...}`), one per
+  /// transaction kind; invalid handles when metrics are off.
+  HistogramHandle lat_read_miss_;
+  HistogramHandle lat_write_miss_;
+  HistogramHandle lat_upgrade_;
   // Scratch: context of the in-flight access (for oracle/log hooks).
   StreamTag current_tag_ = StreamTag::kApp;
   Cycles current_time_ = 0;

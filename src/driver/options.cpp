@@ -107,6 +107,19 @@ std::string driver_usage() {
   --manifest-out F   write the versioned run manifest (JSON)
   --trace-capacity N max trace events kept per run
                      (default 1048576 when --perfetto-out is set)
+  --latency-out F    write the ownership-latency report (JSON, "-" =
+                     stdout): per-protocol p50/p95/p99 of read-miss /
+                     write-miss / upgrade transaction latencies
+  --audit-out F      write the tag-decision audit trail (JSONL, "-" =
+                     stdout): every tag/de-tag/hysteresis transition
+                     with its reason code (docs/OBSERVABILITY.md)
+  --audit-capacity N audit records kept per run (last-N ring;
+                     default 1048576 when --audit-out is set)
+  --heartbeat-out F  write progress heartbeats (JSONL, "-" = stderr):
+                     runs completed, accesses/sec, per-phase wall time
+  --heartbeat-interval S
+                     seconds between heartbeats (default 10;
+                     0 = one line per completed run)
   --check-invariants verify coherence invariants after every access
                      (docs/VERIFICATION.md; slow — exit 4 on violation)
   --help             this text
@@ -155,6 +168,32 @@ bool parse_driver_args(int argc, const char* const* argv,
     } else if (arg == "--manifest-out") {
       if (!need_value(i, &value)) return false;
       options->manifest_out = value;
+    } else if (arg == "--latency-out") {
+      if (!need_value(i, &value)) return false;
+      options->latency_out = value;
+    } else if (arg == "--audit-out") {
+      if (!need_value(i, &value)) return false;
+      options->audit_out = value;
+    } else if (arg == "--audit-capacity") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n)) {
+        *error = "bad --audit-capacity: " + value;
+        return false;
+      }
+      options->audit_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--heartbeat-out") {
+      if (!need_value(i, &value)) return false;
+      options->heartbeat_out = value;
+    } else if (arg == "--heartbeat-interval") {
+      if (!need_value(i, &value)) return false;
+      char* end = nullptr;
+      const double secs = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || secs < 0.0) {
+        *error = "bad --heartbeat-interval (seconds >= 0): " + value;
+        return false;
+      }
+      options->heartbeat_interval = secs;
     } else if (arg == "--jobs") {
       if (!need_value(i, &value)) return false;
       std::uint64_t n = 0;

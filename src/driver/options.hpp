@@ -35,9 +35,19 @@ struct DriverOptions {
   std::string metrics_out;   ///< Metrics snapshots as JSON ("-" ok).
   std::string perfetto_out;  ///< Chrome trace-event / Perfetto JSON.
   std::string manifest_out;  ///< Versioned run manifest JSON.
+  std::string latency_out;   ///< Ownership-latency report JSON ("-" ok).
+  std::string audit_out;     ///< Tag-decision audit trail JSONL ("-" ok).
+  /// Heartbeat JSONL stream ("-" = stderr, so results on stdout stay
+  /// machine-parseable).
+  std::string heartbeat_out;
+  /// Seconds between heartbeat lines (0 = one per completed run).
+  double heartbeat_interval = 10.0;
   /// Trace events kept per run; 0 means "default (1M) when --perfetto-out
   /// is set, else tracing off".
   std::size_t trace_capacity = 0;
+  /// Audit records kept per run (last-N ring); 0 means "default (1M)
+  /// when --audit-out is set, else auditing off".
+  std::size_t audit_capacity = 0;
   /// Host worker threads for multi-protocol sweeps (--jobs). 0 = one per
   /// hardware thread. Results are deterministic for any value (see
   /// exec/parallel_executor.hpp).

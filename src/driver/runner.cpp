@@ -10,8 +10,10 @@
 
 #include "check/invariants.hpp"
 #include "core/protocol_registry.hpp"
+#include "exec/heartbeat.hpp"
 #include "exec/parallel_executor.hpp"
 #include "stats/report.hpp"
+#include "telemetry/latency_report.hpp"
 #include "telemetry/manifest.hpp"
 #include "telemetry/perfetto.hpp"
 
@@ -181,14 +183,20 @@ RunResult run_driver_workload(const DriverOptions& options,
 namespace {
 
 /// Telemetry configuration implied by the output flags: metrics whenever
-/// a metrics or manifest file is requested, tracing whenever a trace file
-/// is (with a 1M-event default capacity).
+/// a metrics, manifest or latency file is requested, tracing whenever a
+/// trace file is, auditing whenever an audit file is (1M-record default
+/// capacities for both rings).
 TelemetryConfig telemetry_for(const DriverOptions& options) {
   TelemetryConfig t;
-  t.metrics = !options.metrics_out.empty() || !options.manifest_out.empty();
+  t.metrics = !options.metrics_out.empty() ||
+              !options.manifest_out.empty() || !options.latency_out.empty();
   t.trace_capacity = options.trace_capacity;
   if (t.trace_capacity == 0 && !options.perfetto_out.empty()) {
     t.trace_capacity = std::size_t{1} << 20;
+  }
+  t.audit_capacity = options.audit_capacity;
+  if (t.audit_capacity == 0 && !options.audit_out.empty()) {
+    t.audit_capacity = std::size_t{1} << 20;
   }
   return t;
 }
@@ -196,7 +204,8 @@ TelemetryConfig telemetry_for(const DriverOptions& options) {
 }  // namespace
 
 DriverRun run_driver_workload_captured(const DriverOptions& options,
-                                       ProtocolKind kind) {
+                                       ProtocolKind kind,
+                                       HeartbeatEmitter* heartbeat) {
   MachineConfig cfg = options.machine;
   cfg.protocol.kind = kind;
   cfg.telemetry = telemetry_for(options);
@@ -205,30 +214,43 @@ DriverRun run_driver_workload_captured(const DriverOptions& options,
     throw std::invalid_argument("invalid machine configuration: " + problem);
   }
   DriverRun run;
-  run.result = run_experiment(
-      cfg, make_driver_builder(options), options.seed, [&run](System& sys) {
-        if (sys.telemetry().metrics_enabled()) {
-          run.metrics = sys.telemetry().registry().snapshot();
-        }
-        run.trace = sys.telemetry().coherence_trace();
-        if (const check::InvariantChecker* c = sys.invariant_checker()) {
-          run.invariant_violations = c->violation_count();
-          run.invariant_messages = c->messages();
-        }
-      });
+  WorkloadBuilder builder;
+  {
+    const PhaseTimer timer(heartbeat, "build");
+    builder = make_driver_builder(options);
+  }
+  {
+    const PhaseTimer timer(heartbeat, "simulate");
+    run.result = run_experiment(
+        cfg, std::move(builder), options.seed, [&run](System& sys) {
+          if (sys.telemetry().metrics_enabled()) {
+            run.metrics = sys.telemetry().registry().snapshot();
+          }
+          run.trace = sys.telemetry().coherence_trace();
+          run.audit = sys.telemetry().audit_log();
+          if (const check::InvariantChecker* c = sys.invariant_checker()) {
+            run.invariant_violations = c->violation_count();
+            run.invariant_messages = c->messages();
+          }
+        });
+  }
+  if (heartbeat != nullptr) {
+    heartbeat->unit_done(run.result.accesses);
+  }
   return run;
 }
 
 std::vector<DriverRun> run_driver_workloads_captured(
-    const DriverOptions& options) {
+    const DriverOptions& options, HeartbeatEmitter* heartbeat) {
   // Surface workload/parameter errors before any worker starts (and
   // build each task's own builder inside the task — the ownership rule
   // at the executor seam: nothing mutable is shared between runs).
   (void)make_driver_builder(options);
   return parallel_map<DriverRun>(
-      options.protocols.size(), options.jobs, [&options](std::size_t i) {
-        return run_driver_workload_captured(options,
-                                            options.protocols[i]);
+      options.protocols.size(), options.jobs,
+      [&options, heartbeat](std::size_t i) {
+        return run_driver_workload_captured(options, options.protocols[i],
+                                            heartbeat);
       });
 }
 
@@ -297,6 +319,35 @@ bool write_driver_artifacts(const DriverOptions& options,
     const bool ok = write_artifact(
         options.perfetto_out, "trace",
         [&processes](std::ostream& os) { write_chrome_trace(os, processes); },
+        error);
+    if (!ok) return false;
+  }
+  if (!options.latency_out.empty()) {
+    std::vector<LatencyReportRun> entries;
+    entries.reserve(runs.size());
+    for (const DriverRun& run : runs) {
+      entries.push_back(LatencyReportRun{to_string(run.result.protocol),
+                                         &run.metrics});
+    }
+    const Json doc =
+        latency_report_to_json(options.workload, options.seed, entries);
+    const bool ok = write_artifact(
+        options.latency_out, "latency report",
+        [&doc](std::ostream& os) {
+          doc.write(os, 0);
+          os << "\n";
+        },
+        error);
+    if (!ok) return false;
+  }
+  if (!options.audit_out.empty()) {
+    const bool ok = write_artifact(
+        options.audit_out, "audit trail",
+        [&runs](std::ostream& os) {
+          for (const DriverRun& run : runs) {
+            write_audit_jsonl(os, run.audit, to_string(run.result.protocol));
+          }
+        },
         error);
     if (!ok) return false;
   }

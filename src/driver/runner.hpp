@@ -6,11 +6,14 @@
 #include <vector>
 
 #include "driver/options.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/coherence_trace.hpp"
 #include "telemetry/registry.hpp"
 #include "workloads/harness.hpp"
 
 namespace lssim {
+
+class HeartbeatEmitter;  // exec/heartbeat.hpp
 
 /// True if `name` names a workload the driver can build.
 [[nodiscard]] bool driver_knows_workload(const std::string& name);
@@ -41,6 +44,9 @@ struct DriverRun {
   RunResult result;
   MetricsSnapshot metrics;
   CoherenceTrace trace{0};
+  /// --audit-out: the tag-decision audit ring captured from the run
+  /// (empty/disabled unless auditing was enabled).
+  TagAuditLog audit{0};
   /// --check-invariants: total violations and the retained messages
   /// (capped; see check::CheckerOptions::max_violations). Zero/empty
   /// when checking is off or the run was clean.
@@ -49,20 +55,25 @@ struct DriverRun {
 };
 
 /// As run_driver_workload, additionally enabling telemetry according to
-/// `options` and capturing the metrics snapshot and coherence trace.
+/// `options` and capturing the metrics snapshot, coherence trace and
+/// audit ring. `heartbeat` (optional) receives per-phase wall time and
+/// one unit_done per completed run.
 DriverRun run_driver_workload_captured(const DriverOptions& options,
-                                       ProtocolKind kind);
+                                       ProtocolKind kind,
+                                       HeartbeatEmitter* heartbeat = nullptr);
 
 /// Runs every protocol in `options.protocols`, fanned out across up to
 /// `options.jobs` host threads (0 = all cores). Results are ordered by
 /// `options.protocols` regardless of completion order, so reports,
 /// manifests and Perfetto exports are byte-identical to a serial sweep.
+/// `heartbeat` (optional, thread-safe) observes progress across workers.
 std::vector<DriverRun> run_driver_workloads_captured(
-    const DriverOptions& options);
+    const DriverOptions& options, HeartbeatEmitter* heartbeat = nullptr);
 
 /// Writes the requested artifact files (--metrics-out, --perfetto-out,
-/// --manifest-out). Returns false and sets `*error` when any output
-/// stream fails; artifacts already written stay on disk.
+/// --manifest-out, --latency-out, --audit-out). Returns false and sets
+/// `*error` when any output stream fails; artifacts already written stay
+/// on disk.
 bool write_driver_artifacts(const DriverOptions& options,
                             const std::vector<DriverRun>& runs,
                             double wall_seconds, std::string* error);

@@ -1,0 +1,74 @@
+#include "exec/heartbeat.hpp"
+
+#include <utility>
+
+#include "telemetry/json.hpp"
+
+namespace lssim {
+
+HeartbeatEmitter::HeartbeatEmitter(std::ostream* os, double interval_seconds,
+                                   std::uint64_t total_units,
+                                   std::string unit_name)
+    : os_(os),
+      interval_seconds_(interval_seconds),
+      total_units_(total_units),
+      unit_name_(std::move(unit_name)),
+      start_(std::chrono::steady_clock::now()),
+      last_emit_(start_) {}
+
+void HeartbeatEmitter::unit_done(std::uint64_t accesses) {
+  if (os_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  done_ += 1;
+  accesses_ += accesses;
+  const auto now = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> since_last = now - last_emit_;
+  if (since_last.count() >= interval_seconds_) {
+    last_emit_ = now;
+    emit_locked("heartbeat");
+  }
+}
+
+void HeartbeatEmitter::add_phase_seconds(const std::string& phase,
+                                         double seconds) {
+  if (os_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  phase_seconds_[phase] += seconds;
+}
+
+void HeartbeatEmitter::finish() {
+  if (os_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  emit_locked("final");
+}
+
+void HeartbeatEmitter::emit_locked(const char* type) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  const double secs = elapsed.count();
+  Json::Object o;
+  o.emplace_back("type", Json(type));
+  o.emplace_back("unit", Json(unit_name_));
+  o.emplace_back("done", Json(done_));
+  if (total_units_ > 0) {
+    o.emplace_back("total", Json(total_units_));
+  }
+  o.emplace_back("accesses", Json(accesses_));
+  o.emplace_back("elapsed_seconds", Json(secs));
+  o.emplace_back("accesses_per_sec",
+                 Json(secs > 0.0 ? static_cast<double>(accesses_) / secs
+                                 : 0.0));
+  if (!phase_seconds_.empty()) {
+    Json::Object phases;
+    for (const auto& [name, seconds] : phase_seconds_) {
+      phases.emplace_back(name, Json(seconds));
+    }
+    o.emplace_back("phases", Json(std::move(phases)));
+  }
+  Json(std::move(o)).write(*os_, 0);
+  *os_ << '\n' << std::flush;
+}
+
+}  // namespace lssim

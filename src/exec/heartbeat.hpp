@@ -1,0 +1,94 @@
+// Heartbeat/progress reporting for long runs: periodic JSONL lines with
+// units completed, simulated accesses/sec and per-phase wall-time
+// attribution, so a multi-hour sweep or fuzz campaign is observable from
+// the outside (tail the file) instead of a silent process.
+//
+// Design notes:
+//   * No background thread — emission piggybacks on unit completion
+//     (`unit_done`), which long runs hit frequently. A mutex makes the
+//     emitter safe to share across the parallel executor's workers.
+//   * Wall-clock timestamps make heartbeat output explicitly
+//     non-deterministic; it is an observability stream, never an input
+//     to results, and it is off by default (null emitter pointer).
+//   * `interval_seconds == 0` emits on every unit — used by tests and
+//     the CI smoke step to make output deterministic in count.
+// Schema: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace lssim {
+
+class HeartbeatEmitter {
+ public:
+  /// `os` receives one compact JSON object per line. `total_units` is the
+  /// expected unit count (0 = unknown, omitted from output). `unit_name`
+  /// names the unit in the output ("run", "trace", ...).
+  HeartbeatEmitter(std::ostream* os, double interval_seconds,
+                   std::uint64_t total_units, std::string unit_name);
+
+  HeartbeatEmitter(const HeartbeatEmitter&) = delete;
+  HeartbeatEmitter& operator=(const HeartbeatEmitter&) = delete;
+
+  /// One unit of work finished, contributing `accesses` simulated
+  /// accesses. Emits a heartbeat line when the interval has elapsed.
+  void unit_done(std::uint64_t accesses);
+
+  /// Attributes `seconds` of wall time to `phase` (accumulated; reported
+  /// in every subsequent line). Usually driven via PhaseTimer.
+  void add_phase_seconds(const std::string& phase, double seconds);
+
+  /// Emits the final line (`"type":"final"`) with the totals. Idempotent.
+  void finish();
+
+ private:
+  void emit_locked(const char* type);
+
+  std::ostream* os_;
+  double interval_seconds_;
+  std::uint64_t total_units_;
+  std::string unit_name_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_emit_;
+
+  std::mutex mu_;
+  std::uint64_t done_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::map<std::string, double> phase_seconds_;
+  bool finished_ = false;
+};
+
+/// RAII phase timer: attributes its scope's wall time to `phase` on the
+/// (possibly null) emitter. Null emitter = zero-cost no-op.
+class PhaseTimer {
+ public:
+  PhaseTimer(HeartbeatEmitter* hb, std::string phase)
+      : hb_(hb), phase_(std::move(phase)) {
+    if (hb_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() {
+    if (hb_ != nullptr) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      hb_->add_phase_seconds(phase_, elapsed.count());
+    }
+  }
+
+ private:
+  HeartbeatEmitter* hb_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lssim

@@ -174,8 +174,13 @@ struct TelemetryConfig {
   /// spans/instants for Perfetto export (telemetry/coherence_trace.hpp).
   std::size_t trace_capacity = 0;
 
+  /// When nonzero, the memory system records the last N tag-decision
+  /// audit records (tag/de-tag/hysteresis transitions with reason codes)
+  /// in a ring for `--audit-out` (telemetry/audit.hpp).
+  std::size_t audit_capacity = 0;
+
   [[nodiscard]] bool any() const noexcept {
-    return metrics || trace_capacity > 0;
+    return metrics || trace_capacity > 0 || audit_capacity > 0;
   }
 };
 

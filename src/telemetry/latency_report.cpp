@@ -1,0 +1,66 @@
+#include "telemetry/latency_report.hpp"
+
+#include <utility>
+
+namespace lssim {
+namespace {
+
+Json histogram_summary(const HistogramData& h) {
+  Json::Object o;
+  o.emplace_back("samples", Json(h.samples));
+  o.emplace_back("sum", Json(h.sum));
+  o.emplace_back("mean", Json(h.mean()));
+  o.emplace_back("p50", Json(h.percentile(0.50)));
+  o.emplace_back("p95", Json(h.percentile(0.95)));
+  o.emplace_back("p99", Json(h.percentile(0.99)));
+  Json::Array buckets;
+  int top = HistogramData::kBuckets;
+  while (top > 0 && h.counts[static_cast<std::size_t>(top - 1)] == 0) {
+    --top;  // Trim trailing empty buckets, as snapshot_to_json does.
+  }
+  buckets.reserve(static_cast<std::size_t>(top));
+  for (int b = 0; b < top; ++b) {
+    buckets.emplace_back(h.counts[static_cast<std::size_t>(b)]);
+  }
+  o.emplace_back("buckets", Json(std::move(buckets)));
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+Json ownership_latency_to_json(const MetricsSnapshot& snapshot) {
+  Json::Object ops;
+  for (const char* op : kOwnershipLatencyOps) {
+    const std::string full =
+        std::string("ownership.latency{op=") + op + "}";
+    if (const HistogramData* h = snapshot.histogram(full); h != nullptr) {
+      ops.emplace_back(op, histogram_summary(*h));
+    }
+  }
+  if (ops.empty()) return Json();
+  return Json(std::move(ops));
+}
+
+Json latency_report_to_json(const std::string& workload, std::uint64_t seed,
+                            const std::vector<LatencyReportRun>& runs) {
+  Json::Object doc;
+  doc.emplace_back("schema_version", Json(1));
+  doc.emplace_back("generator", Json("lssim"));
+  doc.emplace_back("workload", Json(workload));
+  doc.emplace_back("seed", Json(seed));
+  Json::Array out_runs;
+  out_runs.reserve(runs.size());
+  for (const LatencyReportRun& run : runs) {
+    Json::Object r;
+    r.emplace_back("protocol", Json(run.protocol));
+    Json latency = run.metrics != nullptr
+                       ? ownership_latency_to_json(*run.metrics)
+                       : Json();
+    r.emplace_back("ownership_latency", std::move(latency));
+    out_runs.emplace_back(Json(std::move(r)));
+  }
+  doc.emplace_back("runs", Json(std::move(out_runs)));
+  return Json(std::move(doc));
+}
+
+}  // namespace lssim

@@ -1,0 +1,44 @@
+// Ownership-latency report (--latency-out): turns the engine's
+// per-transaction `ownership.latency{op=...}` histograms into a compact
+// JSON document with p50/p95/p99 percentiles per protocol and access
+// type, so "ownership overhead reduced" is a measured distribution
+// rather than an inference from figure deltas. The same per-run section
+// is embedded into the manifest (a pure schema addition — version
+// unchanged; see telemetry/manifest.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+
+namespace lssim {
+
+/// The access types the engine profiles, matching the `op` label values
+/// of the `ownership.latency` histograms it registers.
+inline constexpr const char* kOwnershipLatencyOps[] = {"read-miss",
+                                                       "write-miss",
+                                                       "upgrade"};
+
+/// The `ownership_latency` section for one run: an object keyed by op
+/// ("read-miss"/"write-miss"/"upgrade"), each with samples, sum, mean,
+/// p50/p95/p99 and the trimmed bucket counts. Returns a null Json when
+/// the snapshot carries no ownership.latency histograms (metrics off or
+/// an engine predating them).
+[[nodiscard]] Json ownership_latency_to_json(const MetricsSnapshot& snapshot);
+
+/// One protocol run's input to the report.
+struct LatencyReportRun {
+  std::string protocol;
+  const MetricsSnapshot* metrics = nullptr;
+};
+
+/// The full --latency-out document: schema_version, generator, workload,
+/// seed and one entry per run. Schema: docs/OBSERVABILITY.md.
+[[nodiscard]] Json latency_report_to_json(
+    const std::string& workload, std::uint64_t seed,
+    const std::vector<LatencyReportRun>& runs);
+
+}  // namespace lssim

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/latency_report.hpp"
+
 namespace lssim {
 namespace {
 
@@ -268,6 +270,13 @@ Json manifest_to_json(const RunManifest& manifest) {
     r.emplace_back("result", run_result_to_json(run.result));
     if (!run.metrics.empty()) {
       r.emplace_back("metrics", snapshot_to_json(run.metrics));
+      // Ownership-latency digest (pure addition, schema version kept;
+      // consumers ignore unknown members). Null-free: only emitted when
+      // the run's snapshot carries the ownership.latency histograms.
+      Json latency = ownership_latency_to_json(run.metrics);
+      if (!latency.is_null()) {
+        r.emplace_back("ownership_latency", std::move(latency));
+      }
     }
     runs.emplace_back(std::move(r));
   }

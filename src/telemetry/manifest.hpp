@@ -16,6 +16,10 @@
 //   2 — machine object records the configured `protocol` by registry name;
 //       protocol names everywhere resolve through the protocol registry
 //       (adds LS+AD). Version-1 documents still parse.
+//       Later addition (version kept, per the policy above): run objects
+//       carry an `ownership_latency` digest when the run's metrics
+//       include the ownership.latency histograms
+//       (telemetry/latency_report.hpp).
 #pragma once
 
 #include <cstdint>

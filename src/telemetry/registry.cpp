@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 
 namespace lssim {
 
@@ -98,16 +100,41 @@ std::uint64_t MetricsSnapshot::counter_total(const std::string& name) const {
   return sum;
 }
 
+const HistogramData* MetricsSnapshot::histogram(
+    const std::string& full) const {
+  for (const MetricDesc& d : descs) {
+    if (d.kind == MetricKind::kHistogram && d.full_name() == full) {
+      return &histograms[d.slot];
+    }
+  }
+  return nullptr;
+}
+
 MetricsSnapshot snapshot_delta(const MetricsSnapshot& later,
                                const MetricsSnapshot& earlier) {
+  // Metrics are append-only, so earlier's slots must be a prefix of
+  // later's; a "later" snapshot with fewer slots is from a different
+  // registry (or the arguments are swapped), and subtracting would
+  // silently produce garbage deltas.
+  const auto check = [](std::size_t later_n, std::size_t earlier_n,
+                        const char* kind) {
+    if (later_n < earlier_n) {
+      throw std::invalid_argument(
+          std::string("snapshot_delta: 'later' has fewer ") + kind +
+          " slots (" + std::to_string(later_n) + ") than 'earlier' (" +
+          std::to_string(earlier_n) +
+          "); snapshots are not from the same registry in that order");
+    }
+  };
+  check(later.counters.size(), earlier.counters.size(), "counter");
+  check(later.histograms.size(), earlier.histograms.size(), "histogram");
+  check(later.gauges.size(), earlier.gauges.size(), "gauge");
+
   MetricsSnapshot out = later;
-  // Metrics are append-only, so earlier's slots are a prefix of later's.
-  for (std::size_t i = 0;
-       i < earlier.counters.size() && i < out.counters.size(); ++i) {
+  for (std::size_t i = 0; i < earlier.counters.size(); ++i) {
     out.counters[i] -= earlier.counters[i];
   }
-  for (std::size_t i = 0;
-       i < earlier.histograms.size() && i < out.histograms.size(); ++i) {
+  for (std::size_t i = 0; i < earlier.histograms.size(); ++i) {
     out.histograms[i] -= earlier.histograms[i];
   }
   // Gauges are instantaneous: keep the later value.

@@ -133,6 +133,9 @@ struct MetricsSnapshot {
 
   /// Sum of all counters sharing `name` across label sets.
   [[nodiscard]] std::uint64_t counter_total(const std::string& name) const;
+
+  /// Histogram data by full name ("name{k=v}"); nullptr when absent.
+  [[nodiscard]] const HistogramData* histogram(const std::string& full) const;
 };
 
 class MetricsRegistry {
@@ -187,7 +190,10 @@ class MetricsRegistry {
 /// later - earlier, element-wise: counters and histogram buckets subtract,
 /// gauges keep the later value. Descriptors must match (same registry,
 /// `earlier` taken first); extra metrics registered after `earlier` are
-/// kept as-is.
+/// kept as-is. Throws std::invalid_argument when `later` has fewer slots
+/// of any kind than `earlier` — the snapshots cannot be from the same
+/// registry in that order, and a silent partial subtraction would corrupt
+/// every downstream epoch delta.
 [[nodiscard]] MetricsSnapshot snapshot_delta(const MetricsSnapshot& later,
                                              const MetricsSnapshot& earlier);
 

@@ -1,12 +1,14 @@
-// The per-System telemetry bundle: one metrics registry plus one
-// coherence-trace buffer, constructed from MachineConfig::telemetry.
+// The per-System telemetry bundle: one metrics registry, one
+// coherence-trace buffer and one tag-decision audit ring, constructed
+// from MachineConfig::telemetry.
 //
-// Components receive a `Telemetry*` and cache `metrics()` / `trace()`
-// pointers, which are null when the corresponding pillar is disabled —
-// every hot-path hook is then a single predictable branch.
+// Components receive a `Telemetry*` and cache `metrics()` / `trace()` /
+// `audit()` pointers, which are null when the corresponding pillar is
+// disabled — every hot-path hook is then a single predictable branch.
 #pragma once
 
 #include "sim/config.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/coherence_trace.hpp"
 #include "telemetry/registry.hpp"
 
@@ -16,7 +18,9 @@ class Telemetry {
  public:
   Telemetry() = default;
   explicit Telemetry(const TelemetryConfig& config)
-      : metrics_enabled_(config.metrics), trace_(config.trace_capacity) {}
+      : metrics_enabled_(config.metrics),
+        trace_(config.trace_capacity),
+        audit_(config.audit_capacity) {}
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -36,17 +40,26 @@ class Telemetry {
     return trace_.enabled() ? &trace_ : nullptr;
   }
 
+  /// The tag-decision audit ring, or null when auditing is disabled.
+  [[nodiscard]] TagAuditLog* audit() noexcept {
+    return audit_.enabled() ? &audit_ : nullptr;
+  }
+
   [[nodiscard]] const MetricsRegistry& registry() const noexcept {
     return registry_;
   }
   [[nodiscard]] const CoherenceTrace& coherence_trace() const noexcept {
     return trace_;
   }
+  [[nodiscard]] const TagAuditLog& audit_log() const noexcept {
+    return audit_;
+  }
 
  private:
   bool metrics_enabled_ = false;
   MetricsRegistry registry_;
   CoherenceTrace trace_;
+  TagAuditLog audit_;
 };
 
 }  // namespace lssim

@@ -30,6 +30,39 @@ TEST(EventLog, RetainsInOrder) {
   EXPECT_EQ(times, (std::vector<Cycles>{0, 1, 2, 3, 4}));
 }
 
+TEST(EventLog, ExplicitCapacityZeroStaysDisabled) {
+  EventLog log(0);
+  EXPECT_FALSE(log.enabled());
+  for (int i = 0; i < 3; ++i) {
+    log.record(static_cast<Cycles>(i), ProtoEventKind::kTag, 0, 0,
+               DirState::kShared, true);
+  }
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_EQ(log.size(), 0u);
+  bool called = false;
+  log.for_each([&](const ProtocolEvent&) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(EventLog, ExactCapacityRetainsAllThenWrapsByOne) {
+  EventLog log(4);
+  for (int i = 0; i < 4; ++i) {
+    log.record(static_cast<Cycles>(i), ProtoEventKind::kReadMiss, 0, 0,
+               DirState::kShared, false);
+  }
+  // Filling to exactly capacity must not wrap: all records retained.
+  EXPECT_EQ(log.total(), 4u);
+  EXPECT_EQ(log.size(), 4u);
+  std::vector<Cycles> times;
+  log.for_each([&](const ProtocolEvent& e) { times.push_back(e.time); });
+  EXPECT_EQ(times, (std::vector<Cycles>{0, 1, 2, 3}));
+  // One more record replaces exactly the oldest entry.
+  log.record(4, ProtoEventKind::kReadMiss, 0, 0, DirState::kShared, false);
+  times.clear();
+  log.for_each([&](const ProtocolEvent& e) { times.push_back(e.time); });
+  EXPECT_EQ(times, (std::vector<Cycles>{1, 2, 3, 4}));
+}
+
 TEST(EventLog, RingDropsOldest) {
   EventLog log(3);
   for (int i = 0; i < 7; ++i) {

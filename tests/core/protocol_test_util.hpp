@@ -14,11 +14,15 @@ namespace lssim {
 
 class ProtocolFixture {
  public:
-  explicit ProtocolFixture(MachineConfig config)
+  /// `telemetry` (optional) attaches an observability bundle, for tests
+  /// inspecting metrics/trace/audit output; it must be constructed from
+  /// the same config's `telemetry` member and outlive the fixture.
+  explicit ProtocolFixture(MachineConfig config,
+                           Telemetry* telemetry = nullptr)
       : cfg_(std::move(config)),
         space_(cfg_.num_nodes, cfg_.page_bytes),
         stats_(cfg_.num_nodes),
-        ms_(cfg_, space_, stats_) {}
+        ms_(cfg_, space_, stats_, telemetry) {}
 
   static MachineConfig tiny(ProtocolKind kind) {
     // Small caches so evictions are easy to force: L1 4 sets, L2 16 sets,

@@ -1,0 +1,94 @@
+// Heartbeat emitter: line schema, interval-zero determinism, phase
+// attribution, final-line semantics and the null-emitter no-op paths.
+#include "exec/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace lssim {
+namespace {
+
+std::vector<Json> parse_lines(const std::string& text) {
+  std::vector<Json> out;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);) {
+    if (line.empty()) continue;
+    std::string error;
+    Json doc = Json::parse(line, &error);
+    EXPECT_TRUE(error.empty()) << error << " in: " << line;
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+TEST(Heartbeat, IntervalZeroEmitsOneLinePerUnitPlusFinal) {
+  std::ostringstream os;
+  HeartbeatEmitter hb(&os, /*interval_seconds=*/0.0, /*total_units=*/3,
+                      "run");
+  hb.unit_done(100);
+  hb.unit_done(50);
+  hb.unit_done(25);
+  hb.finish();
+  hb.finish();  // Idempotent: no second final line.
+
+  const std::vector<Json> lines = parse_lines(os.str());
+  ASSERT_EQ(lines.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(lines[i].find("type")->as_string(), "heartbeat");
+    EXPECT_EQ(lines[i].find("unit")->as_string(), "run");
+    EXPECT_EQ(lines[i].find("done")->as_uint(), i + 1);
+    EXPECT_EQ(lines[i].find("total")->as_uint(), 3u);
+    ASSERT_NE(lines[i].find("accesses"), nullptr);
+    ASSERT_NE(lines[i].find("elapsed_seconds"), nullptr);
+    ASSERT_NE(lines[i].find("accesses_per_sec"), nullptr);
+  }
+  EXPECT_EQ(lines[3].find("type")->as_string(), "final");
+  EXPECT_EQ(lines[3].find("done")->as_uint(), 3u);
+  EXPECT_EQ(lines[3].find("accesses")->as_uint(), 175u);
+}
+
+TEST(Heartbeat, LongIntervalSuppressesHeartbeatsButNotFinal) {
+  std::ostringstream os;
+  HeartbeatEmitter hb(&os, /*interval_seconds=*/3600.0, /*total_units=*/0,
+                      "trace");
+  hb.unit_done(1);
+  hb.unit_done(1);
+  EXPECT_TRUE(os.str().empty());  // Interval far from elapsed.
+  hb.finish();
+  const std::vector<Json> lines = parse_lines(os.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].find("type")->as_string(), "final");
+  // total_units == 0: the total member is omitted, not zero.
+  EXPECT_EQ(lines[0].find("total"), nullptr);
+}
+
+TEST(Heartbeat, PhaseTimerAttributesWallTime) {
+  std::ostringstream os;
+  HeartbeatEmitter hb(&os, 0.0, 1, "run");
+  { PhaseTimer timer(&hb, "simulate"); }
+  hb.add_phase_seconds("artifacts", 1.5);
+  hb.unit_done(10);
+  hb.finish();
+
+  const std::vector<Json> lines = parse_lines(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const Json* phases = lines[1].find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_NE(phases->find("simulate"), nullptr);
+  EXPECT_GE(phases->find("simulate")->as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(phases->find("artifacts")->as_double(), 1.5);
+}
+
+TEST(Heartbeat, NullEmitterPhaseTimerIsANoOp) {
+  // PhaseTimer must be safe when heartbeats are disabled entirely.
+  PhaseTimer timer(nullptr, "simulate");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lssim

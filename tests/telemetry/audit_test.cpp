@@ -1,0 +1,268 @@
+// Tests for the tag-decision audit trail: ring semantics (wrap at exact
+// capacity, capacity 0 = disabled), engine hook coverage for the policy
+// reason codes, JSONL serialization, and a driver-level cross-check of
+// the audit stream against the engine's own tag statistics.
+#include "telemetry/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../core/protocol_test_util.hpp"
+#include "driver/runner.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace lssim {
+namespace {
+
+void record_n(TagAuditLog& log, int n, Cycles start = 0) {
+  for (int i = 0; i < n; ++i) {
+    log.record(start + static_cast<Cycles>(i), 0x40, 1, TagAuditEvent::kTag,
+               TagReason::kLsSequence, 0, 0, true);
+  }
+}
+
+std::vector<Cycles> times_of(const TagAuditLog& log) {
+  std::vector<Cycles> times;
+  log.for_each([&](const TagAuditRecord& r) { times.push_back(r.time); });
+  return times;
+}
+
+TEST(TagAuditLog, CapacityZeroIsDisabled) {
+  TagAuditLog log(0);
+  EXPECT_FALSE(log.enabled());
+  record_n(log, 3);
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_EQ(log.size(), 0u);
+  bool called = false;
+  log.for_each([&](const TagAuditRecord&) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(TagAuditLog, ExactCapacityRetainsAllWithoutWrap) {
+  TagAuditLog log(4);
+  record_n(log, 4);
+  EXPECT_EQ(log.total(), 4u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(times_of(log), (std::vector<Cycles>{0, 1, 2, 3}));
+  // The next record wraps: exactly the oldest entry is replaced.
+  record_n(log, 1, 4);
+  EXPECT_EQ(log.total(), 5u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(times_of(log), (std::vector<Cycles>{1, 2, 3, 4}));
+}
+
+TEST(TagAuditLog, RingDropsOldestAcrossMultipleWraps) {
+  TagAuditLog log(3);
+  record_n(log, 8);
+  EXPECT_EQ(log.total(), 8u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(times_of(log), (std::vector<Cycles>{5, 6, 7}));
+}
+
+TEST(TagAuditLog, JsonlCarriesEveryFieldPlusSummary) {
+  TagAuditLog log(8);
+  log.record(1234, 0x80, 2, TagAuditEvent::kDetag, TagReason::kLoneWrite,
+             0, 0, false);
+  std::ostringstream os;
+  write_audit_jsonl(os, log, "LS");
+
+  std::vector<std::string> lines;
+  std::istringstream is(os.str());
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+
+  std::string error;
+  const Json rec = Json::parse(lines[0], &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(rec.find("protocol")->as_string(), "LS");
+  EXPECT_EQ(rec.find("time")->as_uint(), 1234u);
+  EXPECT_EQ(rec.find("block")->as_uint(), 0x80u);
+  EXPECT_EQ(rec.find("node")->as_uint(), 2u);
+  EXPECT_EQ(rec.find("event")->as_string(), "detag");
+  EXPECT_EQ(rec.find("reason")->as_string(), "lone-write");
+  EXPECT_EQ(rec.find("tag_progress")->as_uint(), 0u);
+  EXPECT_EQ(rec.find("detag_progress")->as_uint(), 0u);
+  EXPECT_FALSE(rec.find("tagged")->as_bool());
+
+  const Json summary = Json::parse(lines[1], &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(summary.find("event")->as_string(), "summary");
+  EXPECT_EQ(summary.find("recorded")->as_uint(), 1u);
+  EXPECT_EQ(summary.find("retained")->as_uint(), 1u);
+}
+
+TEST(TagAuditLog, JsonlSummaryReportsTruncation) {
+  TagAuditLog log(2);
+  record_n(log, 5);
+  std::ostringstream os;
+  write_audit_jsonl(os, log, "AD");
+  std::string error;
+  std::istringstream is(os.str());
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    last = line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // 2 retained + summary.
+  const Json summary = Json::parse(last, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(summary.find("recorded")->as_uint(), 5u);
+  EXPECT_EQ(summary.find("retained")->as_uint(), 2u);
+}
+
+// --- Engine hook coverage -------------------------------------------------
+
+struct AuditedFixture {
+  explicit AuditedFixture(MachineConfig cfg)
+      : telemetry((cfg.telemetry.audit_capacity = 4096, cfg.telemetry)),
+        f(cfg, &telemetry) {}
+
+  std::vector<TagAuditRecord> records() const {
+    std::vector<TagAuditRecord> out;
+    telemetry.audit_log().for_each(
+        [&](const TagAuditRecord& r) { out.push_back(r); });
+    return out;
+  }
+
+  Telemetry telemetry;
+  ProtocolFixture f;
+};
+
+TEST(TagAuditEngine, LsSequenceTagIsAudited) {
+  AuditedFixture ax(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = ax.f.on_home(0);
+  (void)ax.f.read(1, a);
+  (void)ax.f.write(1, a);  // Read-then-write by node 1: §3.1 tag.
+
+  const auto records = ax.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event, TagAuditEvent::kTag);
+  EXPECT_EQ(records[0].reason, TagReason::kLsSequence);
+  EXPECT_EQ(records[0].block, ax.f.block_of(a));
+  EXPECT_EQ(records[0].node, 1u);
+  EXPECT_TRUE(records[0].tagged);
+}
+
+TEST(TagAuditEngine, ForeignReadDetagIsAudited) {
+  AuditedFixture ax(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = ax.f.on_home(0);
+  (void)ax.f.read(1, a);
+  (void)ax.f.write(1, a);  // Tag.
+  (void)ax.f.read(2, a);   // Migrate: node 2 holds LStemp.
+  (void)ax.f.read(3, a);   // Foreign read before the owning write: de-tag.
+
+  const auto records = ax.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].event, TagAuditEvent::kDetag);
+  EXPECT_EQ(records[1].reason, TagReason::kForeignAccess);
+  EXPECT_EQ(records[1].node, 3u);
+  EXPECT_FALSE(records[1].tagged);
+}
+
+TEST(TagAuditEngine, LoneWriteDetagIsAudited) {
+  AuditedFixture ax(ProtocolFixture::tiny(ProtocolKind::kLs));
+  const Addr a = ax.f.on_home(0);
+  (void)ax.f.read(1, a);
+  (void)ax.f.write(1, a);  // Tag.
+  (void)ax.f.write(2, a);  // Write miss with no preceding read: de-tag.
+
+  const auto records = ax.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].event, TagAuditEvent::kDetag);
+  EXPECT_EQ(records[1].reason, TagReason::kLoneWrite);
+  EXPECT_EQ(records[1].node, 2u);
+}
+
+TEST(TagAuditEngine, HysteresisProgressIsAuditedBeforeCrossing) {
+  MachineConfig cfg = ProtocolFixture::tiny(ProtocolKind::kLs);
+  cfg.protocol.tag_hysteresis = 2;
+  AuditedFixture ax(cfg);
+  const Addr a = ax.f.on_home(0);
+  (void)ax.f.read(1, a);
+  (void)ax.f.write(1, a);  // First LS sequence: progress 1/2, no tag yet.
+
+  auto records = ax.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event, TagAuditEvent::kTagProgress);
+  EXPECT_EQ(records[0].tag_progress, 1u);
+  EXPECT_FALSE(records[0].tagged);
+
+  (void)ax.f.read(2, a);
+  (void)ax.f.write(2, a);  // Second sequence crosses the threshold.
+  records = ax.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].event, TagAuditEvent::kTag);
+  EXPECT_EQ(records[1].tag_progress, 0u);  // Counter after the event.
+  EXPECT_TRUE(records[1].tagged);
+}
+
+TEST(TagAuditEngine, AdMigratoryDetectAndReplacementDetagAreAudited) {
+  AuditedFixture ax(ProtocolFixture::tiny(ProtocolKind::kAd));
+  const Addr a = ax.f.on_home(0);
+  (void)ax.f.write(1, a);  // last_writer = 1.
+  (void)ax.f.read(2, a);   // Sharing read: sharers = {1, 2}.
+  (void)ax.f.write(2, a);  // Upgrade invalidating exactly {1}: detect.
+
+  auto records = ax.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event, TagAuditEvent::kTag);
+  EXPECT_EQ(records[0].reason, TagReason::kMigratoryDetect);
+
+  // Replacing the owning copy breaks AD's hand-off chain: the engine's
+  // victim hook must audit the de-tag with the replacement reason.
+  ax.f.force_eviction(2, a);
+  records = ax.records();
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(records[1].event, TagAuditEvent::kDetag);
+  EXPECT_EQ(records[1].reason, TagReason::kReplacement);
+  EXPECT_EQ(records[1].node, 2u);
+}
+
+TEST(TagAuditEngine, AuditOffRecordsNothing) {
+  MachineConfig cfg = ProtocolFixture::tiny(ProtocolKind::kLs);
+  Telemetry telemetry(cfg.telemetry);  // Defaults: everything off.
+  ProtocolFixture f(cfg, &telemetry);
+  const Addr a = f.on_home(0);
+  (void)f.read(1, a);
+  (void)f.write(1, a);
+  EXPECT_EQ(telemetry.audit_log().total(), 0u);
+  EXPECT_EQ(f.stats().blocks_tagged, 1u);  // The tag itself still happens.
+}
+
+// --- Driver-level cross-check ---------------------------------------------
+
+// The audit stream and the engine's tag statistics observe the same hook
+// sites; on a real workload their counts must agree exactly. This is the
+// cheap half of the cross-check against the independent LS model in
+// src/check/invariants.cpp (which asserts tag-state legality; here we
+// assert the audit trail is a complete record of the transitions).
+TEST(TagAuditDriver, AuditCountsMatchEngineTagStatistics) {
+  DriverOptions options;
+  options.workload = "pingpong";
+  options.protocols = {ProtocolKind::kLs, ProtocolKind::kLsAd};
+  options.audit_capacity = std::size_t{1} << 20;  // Retain everything.
+
+  for (ProtocolKind kind : options.protocols) {
+    const DriverRun run = run_driver_workload_captured(options, kind);
+    std::uint64_t tags = 0;
+    std::uint64_t detags = 0;
+    run.audit.for_each([&](const TagAuditRecord& r) {
+      if (r.event == TagAuditEvent::kTag) ++tags;
+      if (r.event == TagAuditEvent::kDetag) ++detags;
+    });
+    ASSERT_EQ(run.audit.total(), run.audit.size())
+        << "ring truncated; raise audit_capacity";
+    EXPECT_EQ(tags, run.result.blocks_tagged) << to_string(kind);
+    EXPECT_EQ(detags, run.result.blocks_detagged) << to_string(kind);
+    EXPECT_GT(tags, 0u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace lssim

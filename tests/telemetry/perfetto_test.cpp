@@ -97,6 +97,38 @@ TEST(PerfettoTest, CapacityDropsAreCountedNotSilent) {
   EXPECT_NE(os.str().find("\"dropped_events\": 2"), std::string::npos);
 }
 
+TEST(PerfettoTest, CapacityLimitedExportKeepsRetainedEventsInOrder) {
+  // A capacity-limited trace exports exactly its retained events (the
+  // first N; overflow is counted, not exported) in timestamp order.
+  CoherenceTrace trace(3);
+  trace.span(0, ProtoEventKind::kReadMiss, 0x00, 5, 15);
+  trace.span(1, ProtoEventKind::kWriteMiss, 0x40, 20, 35);
+  trace.span(0, ProtoEventKind::kUpgrade, 0x80, 40, 55);
+  trace.span(1, ProtoEventKind::kReadMiss, 0xc0, 60, 70);  // Dropped.
+  trace.instant(0, ProtoEventKind::kTag, 0xc0, 70);        // Dropped.
+
+  std::ostringstream os;
+  write_chrome_trace(os, "LS", trace);
+  std::vector<ChromeTraceEvent> events;
+  std::string error;
+  ASSERT_TRUE(parse_chrome_trace(os.str(), &events, &error)) << error;
+
+  std::vector<const ChromeTraceEvent*> coherence;
+  for (const ChromeTraceEvent& e : events) {
+    if (e.cat == "coherence") coherence.push_back(&e);
+  }
+  // Only the retained events appear: nothing from the dropped tail.
+  ASSERT_EQ(coherence.size(), 3u);
+  for (const ChromeTraceEvent* e : coherence) {
+    EXPECT_NE(e->arg_block, "0x0000c0");
+  }
+  // ...and in timestamp order.
+  for (std::size_t i = 1; i < coherence.size(); ++i) {
+    EXPECT_LE(coherence[i - 1]->ts, coherence[i]->ts);
+  }
+  EXPECT_NE(os.str().find("\"dropped_events\": 2"), std::string::npos);
+}
+
 TEST(PerfettoTest, MultiProcessExportAssignsDistinctPids) {
   const CoherenceTrace a = make_small_trace();
   const CoherenceTrace b = make_small_trace();

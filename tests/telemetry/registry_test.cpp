@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
 
 namespace lssim {
 namespace {
@@ -108,6 +109,29 @@ TEST(RegistryTest, SnapshotDeltaSubtractsCountersKeepsGauges) {
   ASSERT_EQ(delta.histograms.size(), 1u);
   EXPECT_EQ(delta.histograms[0].samples, 2u);
   EXPECT_EQ(delta.histograms[0].sum, 2100u);
+}
+
+TEST(RegistryTest, DeltaThrowsWhenLaterSnapshotHasFewerSlots) {
+  // Passing snapshots from different registries (or in the wrong order)
+  // used to under- or over-subtract silently; now it throws.
+  MetricsRegistry big;
+  big.add(big.counter("a"), 1);
+  big.add(big.counter("b"), 2);
+  big.observe(big.histogram("h1"), 10);
+  big.observe(big.histogram("h2"), 10);
+  big.set(big.gauge("g1"), 1);
+  big.set(big.gauge("g2"), 2);
+  const MetricsSnapshot earlier = big.snapshot();
+
+  MetricsRegistry small;
+  small.add(small.counter("a"), 1);
+  small.observe(small.histogram("h1"), 10);
+  small.set(small.gauge("g1"), 1);
+  EXPECT_THROW(snapshot_delta(small.snapshot(), earlier),
+               std::invalid_argument);
+  // The reverse order is the documented contract and still works.
+  const MetricsSnapshot delta = snapshot_delta(earlier, small.snapshot());
+  EXPECT_EQ(delta.counter_value("b"), 2u);
 }
 
 TEST(RegistryTest, DeltaToleratesMetricsRegisteredAfterEarlierSnapshot) {

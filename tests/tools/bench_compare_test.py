@@ -21,10 +21,12 @@ SCRIPT = os.environ.get(
 )
 
 
-def capture(figures, total, jobs=4, speedup=2.0):
+def capture(figures, total, jobs=4, speedup=2.0, cores=None):
     doc = {"figures": figures, "jobs": jobs, "speedup": speedup}
     if total is not None:
         doc["serial_seconds"] = total
+    if cores is not None:
+        doc["host_hardware_concurrency"] = cores
     return doc
 
 
@@ -89,6 +91,30 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("REGRESSION", proc.stdout)
         self.assertIn("FAIL", proc.stderr)
+
+    def test_different_core_counts_warn_but_pass(self):
+        old = capture([fig("fig4", 1.0)], total=1.0, cores=8)
+        new = capture([fig("fig4", 1.0)], total=1.0, cores=32)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("host core counts differ", proc.stderr)
+        self.assertIn("old: 8", proc.stderr)
+        self.assertIn("new: 32", proc.stderr)
+
+    def test_different_jobs_warn_but_pass(self):
+        old = capture([fig("fig4", 1.0)], total=1.0, jobs=4, cores=8)
+        new = capture([fig("fig4", 1.0)], total=1.0, jobs=16, cores=8)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("different --jobs", proc.stderr)
+        self.assertNotIn("host core counts differ", proc.stderr)
+
+    def test_matching_provenance_does_not_warn(self):
+        old = capture([fig("fig4", 1.0)], total=1.0, cores=8)
+        new = capture([fig("fig4", 1.0)], total=1.0, cores=8)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("differ", proc.stderr)
 
     def test_within_threshold_passes(self):
         old = capture([fig("fig4", 1.0)], total=1.0)

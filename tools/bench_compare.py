@@ -47,6 +47,27 @@ def main():
             "wall-clock deltas are not meaningful",
             file=sys.stderr,
         )
+    # Host provenance: comparing captures from machines with different
+    # core counts (or different --jobs) makes the speedup numbers — and,
+    # across CPU generations, often the serial times too — incomparable.
+    # Warn loudly rather than fail: the serial-time regression gate below
+    # is still the contract.
+    old_cores = old_doc.get("host_hardware_concurrency")
+    new_cores = new_doc.get("host_hardware_concurrency")
+    if old_cores != new_cores:
+        print(
+            f"warning: host core counts differ "
+            f"(old: {old_cores}, new: {new_cores}); speedup and "
+            f"wall-clock deltas are not comparable across hosts",
+            file=sys.stderr,
+        )
+    if old_doc.get("jobs") != new_doc.get("jobs"):
+        print(
+            f"warning: parallel passes used different --jobs "
+            f"(old: {old_doc.get('jobs')}, new: {new_doc.get('jobs')}); "
+            f"speedup numbers are not comparable",
+            file=sys.stderr,
+        )
     old_figs, new_figs = by_name(old_doc), by_name(new_doc)
 
     regressions = []

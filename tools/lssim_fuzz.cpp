@@ -5,6 +5,7 @@
 //
 //   lssim_fuzz fuzz [--seed N] [--iterations N] [--length N]
 //                   [--protocol NAME] [--no-knobs] [--out DIR]
+//                   [--heartbeat-out F] [--heartbeat-interval S]
 //   lssim_fuzz explore [--nodes N] [--blocks N] [--depth N]
 //                      [--protocol NAME] [--out DIR]
 //   lssim_fuzz replay FILE...
@@ -15,12 +16,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "check/explorer.hpp"
 #include "check/fuzzer.hpp"
 #include "core/protocol_registry.hpp"
+#include "exec/heartbeat.hpp"
 
 namespace {
 
@@ -38,6 +43,9 @@ constexpr const char* kUsage =
     "            --protocol NAME            restrict to one protocol\n"
     "            --no-knobs                 paper-default knobs only\n"
     "            --out DIR                  write shrunk repros there\n"
+    "            --heartbeat-out F          progress JSONL (\"-\" = stderr)\n"
+    "            --heartbeat-interval S     seconds between lines\n"
+    "                                       (default 10; 0 = every trace)\n"
     "  explore   exhaustive interleavings on a tiny config\n"
     "            --nodes N (default 2)      2..4\n"
     "            --blocks N (default 2)     1..2\n"
@@ -153,9 +161,45 @@ int run_fuzz_mode(std::vector<std::string> args) {
   options.randomize_knobs = !take_switch(args, "--no-knobs");
   std::string out_dir;
   take_value(args, "--out", &out_dir);
+  std::string heartbeat_out;
+  take_value(args, "--heartbeat-out", &heartbeat_out);
+  double heartbeat_interval = 10.0;
+  if (take_value(args, "--heartbeat-interval", &value)) {
+    try {
+      std::size_t pos = 0;
+      heartbeat_interval = std::stod(value, &pos);
+      if (pos != value.size() || heartbeat_interval < 0.0) {
+        throw std::invalid_argument(value);
+      }
+    } catch (const std::exception&) {
+      usage_error("bad value for --heartbeat-interval: '" + value + "'");
+    }
+  }
   if (!args.empty()) usage_error("unknown argument '" + args[0] + "'");
 
+  std::ofstream heartbeat_file;
+  std::unique_ptr<HeartbeatEmitter> heartbeat;
+  if (!heartbeat_out.empty()) {
+    std::ostream* hb_os = &std::cerr;
+    if (heartbeat_out != "-") {
+      heartbeat_file.open(heartbeat_out);
+      if (!heartbeat_file) {
+        std::fprintf(stderr, "lssim_fuzz: cannot open %s for heartbeat\n",
+                     heartbeat_out.c_str());
+        return 3;
+      }
+      hb_os = &heartbeat_file;
+    }
+    heartbeat = std::make_unique<HeartbeatEmitter>(
+        hb_os, heartbeat_interval,
+        static_cast<std::uint64_t>(options.iterations), "trace");
+    options.heartbeat = heartbeat.get();
+  }
+
   const FuzzResult result = run_fuzzer(options);
+  if (heartbeat != nullptr) {
+    heartbeat->finish();
+  }
   return report("fuzz", result.traces, "traces", result.accesses,
                 result.failing_traces, result.messages, result.failures,
                 out_dir);

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Aggregate lssim observability artifacts into a per-protocol trend table.
+
+Scans a directory (or explicit file list) for run manifests
+(`--manifest-out`) and ownership-latency reports (`--latency-out`) and
+prints one row per (file, workload, protocol): execution cycles,
+messages, eliminated acquisitions, and — when the file carries the
+ownership-latency digest — write-miss/upgrade p50/p95/p99.
+
+The point is trend-watching over a directory of artifacts from repeated
+runs (nightly sweeps, bisects, parameter studies): sorted
+deterministically by file name, so two invocations over the same
+directory are byte-identical and diff-able.
+
+Usage:
+  lssim_report.py DIR_OR_FILE... [--format table|csv] [--workload W]
+                  [--protocol P]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+COLUMNS = (
+    "file", "workload", "seed", "protocol", "exec_cycles", "messages",
+    "eliminated", "wm_p50", "wm_p95", "wm_p99", "up_p50", "up_p95",
+    "up_p99",
+)
+
+
+def latency_cell(latency, op, key):
+    if not isinstance(latency, dict):
+        return ""
+    digest = latency.get(op)
+    if not isinstance(digest, dict) or digest.get("samples", 0) == 0:
+        return ""
+    return str(digest.get(key, ""))
+
+
+def rows_from_manifest(name, doc):
+    rows = []
+    for run in doc.get("runs", []):
+        result = run.get("result", {})
+        latency = run.get("ownership_latency")
+        rows.append({
+            "file": name,
+            "workload": str(doc.get("workload", "")),
+            "seed": str(doc.get("seed", "")),
+            "protocol": str(result.get("protocol", "")),
+            "exec_cycles": str(result.get("exec_cycles", "")),
+            "messages": str(result.get("traffic", {}).get("total", "")),
+            "eliminated": str(result.get("eliminated_acquisitions", "")),
+            "wm_p50": latency_cell(latency, "write-miss", "p50"),
+            "wm_p95": latency_cell(latency, "write-miss", "p95"),
+            "wm_p99": latency_cell(latency, "write-miss", "p99"),
+            "up_p50": latency_cell(latency, "upgrade", "p50"),
+            "up_p95": latency_cell(latency, "upgrade", "p95"),
+            "up_p99": latency_cell(latency, "upgrade", "p99"),
+        })
+    return rows
+
+
+def rows_from_latency_report(name, doc):
+    rows = []
+    for run in doc.get("runs", []):
+        latency = run.get("ownership_latency")
+        rows.append({
+            "file": name,
+            "workload": str(doc.get("workload", "")),
+            "seed": str(doc.get("seed", "")),
+            "protocol": str(run.get("protocol", "")),
+            "exec_cycles": "",
+            "messages": "",
+            "eliminated": "",
+            "wm_p50": latency_cell(latency, "write-miss", "p50"),
+            "wm_p95": latency_cell(latency, "write-miss", "p95"),
+            "wm_p99": latency_cell(latency, "write-miss", "p99"),
+            "up_p50": latency_cell(latency, "upgrade", "p50"),
+            "up_p95": latency_cell(latency, "upgrade", "p95"),
+            "up_p99": latency_cell(latency, "upgrade", "p99"),
+        })
+    return rows
+
+
+def classify(doc):
+    """Returns 'manifest', 'latency' or None for a parsed document."""
+    if not isinstance(doc, dict) or doc.get("generator") != "lssim":
+        return None
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return None
+    first = runs[0]
+    if isinstance(first, dict) and "result" in first:
+        return "manifest"
+    if isinstance(first, dict) and "ownership_latency" in first:
+        return "latency"
+    return None
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for entry in sorted(os.listdir(path)):
+                if entry.endswith(".json"):
+                    files.append(os.path.join(path, entry))
+        else:
+            files.append(path)
+    return sorted(files)
+
+
+def print_table(rows, out):
+    widths = {c: len(c) for c in COLUMNS}
+    for row in rows:
+        for c in COLUMNS:
+            widths[c] = max(widths[c], len(row[c]))
+    header = "  ".join(c.ljust(widths[c]) for c in COLUMNS)
+    print(header.rstrip(), file=out)
+    print("  ".join("-" * widths[c] for c in COLUMNS).rstrip(), file=out)
+    for row in rows:
+        line = "  ".join(row[c].ljust(widths[c]) for c in COLUMNS)
+        print(line.rstrip(), file=out)
+
+
+def print_csv(rows, out):
+    print(",".join(COLUMNS), file=out)
+    for row in rows:
+        print(",".join(row[c] for c in COLUMNS), file=out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+",
+                        help="directories (scanned for *.json) or files")
+    parser.add_argument("--format", choices=("table", "csv"),
+                        default="table")
+    parser.add_argument("--workload", help="only rows for this workload")
+    parser.add_argument("--protocol", help="only rows for this protocol")
+    args = parser.parse_args()
+
+    rows = []
+    skipped = 0
+    for path in collect_files(args.paths):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            skipped += 1
+            continue
+        kind = classify(doc)
+        name = os.path.basename(path)
+        if kind == "manifest":
+            rows.extend(rows_from_manifest(name, doc))
+        elif kind == "latency":
+            rows.extend(rows_from_latency_report(name, doc))
+        else:
+            skipped += 1
+
+    if args.workload:
+        rows = [r for r in rows if r["workload"] == args.workload]
+    if args.protocol:
+        rows = [r for r in rows if r["protocol"] == args.protocol]
+    if not rows:
+        print("lssim_report: no lssim manifests or latency reports found",
+              file=sys.stderr)
+        return 1
+
+    if args.format == "csv":
+        print_csv(rows, sys.stdout)
+    else:
+        print_table(rows, sys.stdout)
+    if skipped:
+        print("lssim_report: skipped %d non-report file(s)" % skipped,
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,13 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
+#include "exec/heartbeat.hpp"
 
 int main(int argc, char** argv) {
   using namespace lssim;
@@ -34,10 +37,31 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // --heartbeat-out: periodic progress JSONL ("-" = stderr so stdout
+    // stays machine-parseable results).
+    std::ofstream heartbeat_file;
+    std::unique_ptr<HeartbeatEmitter> heartbeat;
+    if (!options.heartbeat_out.empty()) {
+      std::ostream* hb_os = &std::cerr;
+      if (options.heartbeat_out != "-") {
+        heartbeat_file.open(options.heartbeat_out);
+        if (!heartbeat_file) {
+          std::fprintf(stderr, "lssim_run: cannot open %s for heartbeat\n",
+                       options.heartbeat_out.c_str());
+          return 3;
+        }
+        hb_os = &heartbeat_file;
+      }
+      heartbeat = std::make_unique<HeartbeatEmitter>(
+          hb_os, options.heartbeat_interval,
+          static_cast<std::uint64_t>(options.protocols.size()), "run");
+    }
+
     const auto start = std::chrono::steady_clock::now();
     // Fans the per-protocol simulations out across --jobs host threads;
     // result order (and so every artifact byte) matches a serial sweep.
-    std::vector<DriverRun> runs = run_driver_workloads_captured(options);
+    std::vector<DriverRun> runs =
+        run_driver_workloads_captured(options, heartbeat.get());
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -56,9 +80,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "lssim_run: failed writing results to stdout\n");
       return 3;
     }
-    if (!write_driver_artifacts(options, runs, wall_seconds, &error)) {
-      std::fprintf(stderr, "lssim_run: %s\n", error.c_str());
-      return 3;
+    {
+      const PhaseTimer timer(heartbeat.get(), "artifacts");
+      if (!write_driver_artifacts(options, runs, wall_seconds, &error)) {
+        std::fprintf(stderr, "lssim_run: %s\n", error.c_str());
+        return 3;
+      }
+    }
+    if (heartbeat != nullptr) {
+      heartbeat->finish();
+      if (heartbeat_file.is_open()) {
+        heartbeat_file.flush();
+        if (!heartbeat_file) {
+          std::fprintf(stderr, "lssim_run: failed writing heartbeat to %s\n",
+                       options.heartbeat_out.c_str());
+          return 3;
+        }
+      }
     }
     // --check-invariants: artifacts above are still written (they help
     // debug the violation), but the run must not exit 0.
