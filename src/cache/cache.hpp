@@ -88,6 +88,12 @@ class Cache {
       if (line.valid()) fn(line);
     }
   }
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) const {
+    for (const auto& line : lines_) {
+      if (line.valid()) fn(line);
+    }
+  }
 
  private:
   [[nodiscard]] std::size_t set_index(Addr block) const noexcept {

@@ -59,10 +59,23 @@ ReproTrace random_trace(Rng& rng, const FuzzOptions& options,
     p.detag_hysteresis = rng.next_bool(0.25) ? 2 : 1;
     p.keep_tag_on_lone_write = rng.next_bool(0.25);
     p.ad_detag_on_replacement = !rng.next_bool(0.25);
-    if (rng.next_bool(0.25)) {
-      trace.machine.directory_scheme = DirectoryScheme::kLimitedPtr;
+    // Sample a directory organisation: full-map half the time, an
+    // alternative otherwise — tight knobs (1-2 pointers, 2-node regions,
+    // 1-3 entries) so overflow, imprecision and evictions all happen
+    // within a short trace.
+    const std::uint64_t dir_roll = rng.next_below(8);
+    if (dir_roll < 2) {
+      trace.machine.directory_scheme = DirectoryKind::kLimitedPtr;
       trace.machine.directory_pointers =
           static_cast<std::uint8_t>(rng.next_range(1, 2));
+    } else if (dir_roll < 3) {
+      trace.machine.directory_scheme = DirectoryKind::kCoarseVector;
+      trace.machine.directory_region =
+          static_cast<std::uint16_t>(rng.next_range(1, 2));
+    } else if (dir_roll < 4) {
+      trace.machine.directory_scheme = DirectoryKind::kSparse;
+      trace.machine.directory_entries =
+          static_cast<std::uint32_t>(rng.next_range(1, 3));
     }
   }
 

@@ -115,6 +115,7 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
                                       ? 1
                                       : cfg.protocol.detag_hysteresis;
 
+  const DirectoryPolicy& dp = ms.directory_policy();
   {
     BlockSnapshot snap;
     snap.tagged = e.tagged;
@@ -135,7 +136,10 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
         }
       }
       if (!p.l2_hit) {
-        if (e.state == DirState::kShared && e.is_sharer(nid)) {
+        // A precise entry claims exact membership; an imprecise believed
+        // set may cover caches that hold nothing.
+        if (e.state == DirState::kShared && !e.imprecise &&
+            dp.may_be_sharer(e, nid)) {
           record("dir-cache-agreement",
                  "directory lists node " + std::to_string(n) +
                      " as sharer of " + hex(b) + " but its cache misses");
@@ -145,18 +149,22 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
       switch (p.state) {
         case CacheState::kShared:
           ++shared_copies;
-          snap.shared_mask |= std::uint64_t{1} << n;
-          if (e.state != DirState::kShared || !e.is_sharer(nid)) {
+          snap.shared.set(nid);
+          // Superset rule: a real holder the directory would not
+          // invalidate is a missed invalidation, precise or not.
+          if (e.state != DirState::kShared || !dp.may_be_sharer(e, nid)) {
             record("dir-cache-agreement",
                    "node " + std::to_string(n) + " holds " + hex(b) +
                        " Shared but directory is " +
                        std::string(to_string(e.state)) +
-                       (e.is_sharer(nid) ? "" : " without the sharer bit"));
+                       (dp.may_be_sharer(e, nid)
+                            ? ""
+                            : " and does not believe it is a sharer"));
           }
           break;
         case CacheState::kModified:
           ++excl_copies;
-          snap.modified_mask |= std::uint64_t{1} << n;
+          snap.modified.set(nid);
           if ((e.state != DirState::kDirty && e.state != DirState::kExcl) ||
               e.owner != nid) {
             record("dir-cache-agreement",
@@ -168,7 +176,7 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
           break;
         case CacheState::kLStemp:
           ++excl_copies;
-          snap.lstemp_mask |= std::uint64_t{1} << n;
+          snap.lstemp.set(nid);
           if (e.state != DirState::kExcl || e.owner != nid) {
             record("ls-tag",
                    "node " + std::to_string(n) + " holds " + hex(b) +
@@ -204,13 +212,19 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
         }
         break;
       case DirState::kShared:
-        if (shared_copies != e.sharer_count() || shared_copies == 0 ||
+        // Precise entries agree exactly (and a Shared entry with no
+        // copies is stale bookkeeping); imprecise ones may over-count
+        // and outlive the last real copy — the per-node superset checks
+        // above still catch missed invalidations.
+        if ((!e.imprecise && (shared_copies != dp.believed_sharers(e).count() ||
+                              shared_copies == 0)) ||
             excl_copies != 0 || e.owner != kInvalidNode) {
           record("dir-cache-agreement",
-                 "Shared block " + hex(b) + " sharer vector counts " +
-                     std::to_string(e.sharer_count()) + " but " +
-                     std::to_string(shared_copies) +
-                     " cached copies exist (owner field " +
+                 "Shared block " + hex(b) + " believes " +
+                     std::to_string(dp.believed_sharers(e).count()) +
+                     " sharers but " + std::to_string(shared_copies) +
+                     " shared / " + std::to_string(excl_copies) +
+                     " writable cached copies exist (owner field " +
                      std::to_string(static_cast<int>(e.owner)) + ")");
         }
         break;
@@ -227,7 +241,7 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
                      std::to_string(shared_copies) + " shared, owner " +
                      std::to_string(static_cast<int>(e.owner)));
         } else if (e.state == DirState::kDirty &&
-                   ((snap.modified_mask >> e.owner) & 1) == 0) {
+                   !snap.modified.test(e.owner)) {
           record("dir-cache-agreement",
                  "Dirty block " + hex(b) + " owner " +
                      std::to_string(static_cast<int>(e.owner)) +
@@ -253,9 +267,10 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
       record("ls-tag",
              "Baseline protocol tagged block " + hex(b));
     }
-    if (cfg.directory_scheme == DirectoryScheme::kFullMap && e.ptr_overflow) {
+    if (cfg.directory_scheme == DirectoryKind::kFullMap && e.imprecise) {
       record("dir-cache-agreement",
-             "full-map directory flagged pointer overflow on " + hex(b));
+             "full-map directory marked " + hex(b) +
+                 " imprecise (the full map is always exact)");
     }
 
     blocks_[b] = snap;
@@ -267,10 +282,27 @@ void InvariantChecker::full_scan(const MemorySystem& ms) {
       [&](Addr b, const DirEntry& e) { verify_block(ms, b, e); });
   const int nodes = ms.config().num_nodes;
   for (int n = 0; n < nodes; ++n) {
-    if (!ms.cache(static_cast<NodeId>(n)).check_inclusion()) {
+    const NodeId nid = static_cast<NodeId>(n);
+    if (!ms.cache(nid).check_inclusion()) {
       record("dir-cache-agreement",
              "node " + std::to_string(n) + " violates L1/L2 inclusion");
     }
+    // Every cached block needs a live directory entry — the sparse
+    // organisation must invalidate all copies before evicting one.
+    ms.cache(nid).l2().for_each_valid([&](const CacheLine& line) {
+      if (ms.directory().find(line.block) == nullptr) {
+        record("dir-cache-agreement",
+               "node " + std::to_string(n) + " caches " + hex(line.block) +
+                   " but the block has no directory entry");
+      }
+    });
+  }
+  if (ms.directory_policy().max_entries() != 0) {
+    // Snapshots of sparse-evicted blocks are history the machine lost
+    // (tag bit included); drop them so a re-access starts cold.
+    std::erase_if(blocks_, [&](const auto& kv) {
+      return ms.directory().find(kv.first) == nullptr;
+    });
   }
 }
 
@@ -302,9 +334,22 @@ void InvariantChecker::check_structure(const MemorySystem& ms, NodeId node,
       }
       if (const DirEntry* e = ms.directory().find(b)) {
         verify_block(ms, b, *e);
-      } else {
+      } else if (ms.directory_policy().max_entries() == 0) {
+        // Unbounded organisations never drop entries.
         record("dir-cache-agreement",
                "touched block " + hex(b) + " has no directory entry");
+      } else {
+        // Sparse organisation: the entry was evicted. Legal only if the
+        // eviction invalidated every cached copy; the block's history
+        // (tag bit included) is gone, so the snapshot resets too.
+        for (int n = 0; n < ms.config().num_nodes; ++n) {
+          if (ms.cache(static_cast<NodeId>(n)).probe(b).l2_hit) {
+            record("dir-cache-agreement",
+                   "evicted directory entry for " + hex(b) +
+                       " left a cached copy at node " + std::to_string(n));
+          }
+        }
+        blocks_.erase(b);
       }
     }
   }
@@ -321,8 +366,7 @@ void InvariantChecker::check_structure(const MemorySystem& ms, NodeId node,
     const auto post = blocks_.find(block);
     const bool fresh_grant =
         post != blocks_.end() &&
-        ((post->second.lstemp_mask >> node) & 1) != 0 &&
-        ((pre.lstemp_mask >> node) & 1) == 0;
+        post->second.lstemp.test(node) && !pre.lstemp.test(node);
     if (fresh_grant && !pre.tagged) {
       record("ls-tag", "read by node " + std::to_string(node) +
                            " was granted an exclusive copy of " + hex(block) +
@@ -343,12 +387,12 @@ void InvariantChecker::check_ls_tag_model(const MemorySystem& ms, NodeId node,
     return;  // Local-only access to a block the directory never saw.
   }
   const bool post_tagged = post_it->second.tagged;
-  const std::uint64_t self = std::uint64_t{1} << node;
-  const bool had_copy =
-      ((pre.shared_mask | pre.modified_mask | pre.lstemp_mask) & self) != 0;
-  const bool writable_copy =
-      ((pre.modified_mask | pre.lstemp_mask) & self) != 0;
-  const bool foreign_lstemp = (pre.lstemp_mask & ~self) != 0;
+  const bool had_copy = pre.shared.test(node) || pre.modified.test(node) ||
+                        pre.lstemp.test(node);
+  const bool writable_copy = pre.modified.test(node) || pre.lstemp.test(node);
+  SharerSet foreign = pre.lstemp;
+  foreign.reset(node);
+  const bool foreign_lstemp = !foreign.empty();
 
   bool expected = pre.tagged;
   if (!req.is_write()) {
@@ -357,7 +401,7 @@ void InvariantChecker::check_ls_tag_model(const MemorySystem& ms, NodeId node,
     }
   } else if (!writable_copy) {
     // Global write action: §3.1 tag/de-tag rules on the pre-state.
-    const bool upgrade = (pre.shared_mask & self) != 0;
+    const bool upgrade = pre.shared.test(node);
     bool lone_write_detag = false;
     if (pre.last_reader == node) {
       expected = true;  // Ownership request from the last reader: tag.

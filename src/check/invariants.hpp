@@ -13,9 +13,14 @@
 //     value produced by a sequentially-consistent reference memory the
 //     checker maintains itself, independent of the engine's
 //     AddressSpace.
-//   * Directory/cache agreement — sharer vectors, owner fields and the
-//     per-state copy counts match the actual cache contents, and the
-//     two-level hierarchy keeps inclusion.
+//   * Directory/cache agreement — owner fields and per-state copy
+//     counts match the actual cache contents, and the two-level
+//     hierarchy keeps inclusion. Sharer sets are checked through the
+//     machine's directory organisation: a *precise* entry must agree
+//     exactly, an *imprecise* one (Dir_iB pointer overflow, coarse
+//     regions) must believe a superset of the real holders — a real
+//     holder the directory would not invalidate is always a violation,
+//     under every organisation.
 //   * LS-tag consistency — hysteresis counters stay in bounds, Baseline
 //     never tags or grants exclusive reads, data-centric policies only
 //     grant LStemp copies of blocks that were tagged at request time,
@@ -37,6 +42,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/sharer_set.hpp"
 #include "sim/types.hpp"
 
 namespace lssim::check {
@@ -105,14 +111,14 @@ class InvariantChecker {
 
  private:
   /// Post-access snapshot of one block: the directory fields the tag
-  /// model consumes plus per-node cache states as bitmasks. The snapshot
+  /// model consumes plus per-node cache states as sets. The snapshot
   /// taken after access N is the ground-truth *pre*-state of access N+1.
   struct BlockSnapshot {
     bool tagged = false;
     NodeId last_reader = kInvalidNode;
-    std::uint64_t shared_mask = 0;
-    std::uint64_t modified_mask = 0;
-    std::uint64_t lstemp_mask = 0;
+    SharerSet shared;
+    SharerSet modified;
+    SharerSet lstemp;
   };
 
   void record(std::string invariant, std::string detail);

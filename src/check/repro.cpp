@@ -77,8 +77,9 @@ void save_repro(std::ostream& os, const ReproTrace& trace) {
      << (m.protocol.keep_tag_on_lone_write ? 1 : 0) << "\n";
   os << "ad_detag_on_replacement "
      << (m.protocol.ad_detag_on_replacement ? 1 : 0) << "\n";
-  os << "directory " << lssim::to_string(m.directory_scheme) << ' '
-     << static_cast<int>(m.directory_pointers) << "\n";
+  os << "directory " << directory_name(m.directory_scheme) << ' '
+     << static_cast<int>(m.directory_pointers) << ' ' << m.directory_region
+     << ' ' << m.directory_entries << "\n";
   for (const ReproAccess& access : trace.accesses) {
     os << to_string(access) << "\n";
   }
@@ -149,17 +150,23 @@ ReproTrace load_repro(std::istream& is) {
       ls >> v;
       trace.machine.protocol.ad_detag_on_replacement = v != 0;
     } else if (key == "directory") {
+      // "directory <name> <pointers> [<region> <entries>]" — the two
+      // trailing knobs are optional so pre-existing repros still load.
       std::string scheme;
       int pointers = 4;
       ls >> scheme >> pointers;
-      if (scheme == "full-map") {
-        trace.machine.directory_scheme = DirectoryScheme::kFullMap;
-      } else if (scheme == "limited-ptr") {
-        trace.machine.directory_scheme = DirectoryScheme::kLimitedPtr;
-      } else {
-        parse_fail(line_no, "unknown directory scheme " + scheme);
+      DirectoryKind kind;
+      if (!directory_from_name(scheme, &kind)) {
+        parse_fail(line_no, "unknown directory organisation " + scheme);
       }
+      trace.machine.directory_scheme = kind;
       trace.machine.directory_pointers = static_cast<std::uint8_t>(pointers);
+      unsigned region = 0;
+      unsigned entries = 0;
+      if (ls >> region >> entries) {
+        trace.machine.directory_region = static_cast<std::uint16_t>(region);
+        trace.machine.directory_entries = entries;
+      }
     } else if (key == "access") {
       ReproAccess access;
       int node = 0;

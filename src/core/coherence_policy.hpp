@@ -29,6 +29,7 @@
 #include <cstdint>
 
 #include "core/directory.hpp"
+#include "core/directory_policy.hpp"
 #include "cache/cache.hpp"
 #include "sim/config.hpp"
 #include "sim/types.hpp"
@@ -179,6 +180,42 @@ class CoherencePolicy {
   [[nodiscard]] virtual IlsPredictor* ils_predictor() noexcept {
     return nullptr;
   }
+
+  /// Lets the policy decode sharer words through the machine's directory
+  /// organisation. The engine calls this once at construction; policies
+  /// driven standalone (unit tests) keep the null default and fall back
+  /// to the full-map bitmap encoding.
+  void attach_directory_policy(const DirectoryPolicy* directory) noexcept {
+    directory_ = directory;
+  }
+
+ protected:
+  /// AD's migratory evidence at an ownership upgrade: exactly one other
+  /// believed sharer, and it is the previous writer — a read→write
+  /// hand-off. Imprecise entries (pointer overflow, coarse regions)
+  /// yield no evidence: the believed set is a superset, so "exactly one
+  /// other sharer" cannot be trusted.
+  [[nodiscard]] bool migratory_evidence(const DirEntry& entry,
+                                        NodeId writer) const {
+    if (entry.imprecise || entry.last_writer == kInvalidNode ||
+        entry.last_writer == writer) {
+      return false;
+    }
+    if (directory_ == nullptr) {
+      // Standalone fallback: interpret the word as a full-map bitmap.
+      if (writer >= kFullMapNodes || entry.last_writer >= kFullMapNodes) {
+        return false;
+      }
+      const std::uint64_t others =
+          entry.sharers & ~(std::uint64_t{1} << writer);
+      return others == (std::uint64_t{1} << entry.last_writer);
+    }
+    SharerSet others = directory_->believed_sharers(entry);
+    others.reset(writer);
+    return others.count() == 1 && others.test(entry.last_writer);
+  }
+
+  const DirectoryPolicy* directory_ = nullptr;
 };
 
 }  // namespace lssim

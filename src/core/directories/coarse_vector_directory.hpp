@@ -1,0 +1,87 @@
+// Coarse bit-vector directory organisation (Gupta et al.).
+//
+// Bit r of the sharer word covers the `region` consecutive nodes
+// [r*region, (r+1)*region); an invalidation aimed at any node in a set
+// region goes to the whole region. With region == 1 this degenerates to
+// the exact full-map encoding; with region > 1 the entry turns
+// imprecise the moment a sharer is recorded, and replacement hints
+// cannot clear region bits (other nodes of the region may still hold
+// the block), so believed sharers can outlive the last real copy.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "core/directory_policy.hpp"
+
+namespace lssim {
+
+class CoarseVectorDirectory : public DirectoryPolicy {
+ public:
+  /// `region` == 0 selects the smallest region that covers `num_nodes`
+  /// with the word's 64 bits: ceil(num_nodes / 64).
+  CoarseVectorDirectory(int region, int num_nodes) noexcept
+      : region_(region != 0 ? region : (num_nodes + 63) / 64),
+        num_nodes_(num_nodes) {
+    assert(region_ >= 1 && region_ * 64 >= num_nodes);
+  }
+
+  [[nodiscard]] DirectoryKind kind() const noexcept override {
+    return DirectoryKind::kCoarseVector;
+  }
+
+  void clear_sharers(DirEntry& entry) const noexcept override {
+    entry.sharers = 0;
+    entry.imprecise = false;
+  }
+
+  void add_sharer(DirEntry& entry, NodeId node) const noexcept override {
+    entry.sharers |= std::uint64_t{1} << (node / region_);
+    if (region_ > 1) {
+      entry.imprecise = true;
+    }
+  }
+
+  void remove_sharer(DirEntry& entry, NodeId node) const noexcept override {
+    if (region_ == 1) {
+      entry.sharers &= ~(std::uint64_t{1} << node);
+    }
+    // region > 1: the bit covers other nodes — nothing can be cleared.
+  }
+
+  [[nodiscard]] bool may_be_sharer(const DirEntry& entry,
+                                   NodeId node) const noexcept override {
+    return (entry.sharers >> (node / region_)) & 1u;
+  }
+
+  [[nodiscard]] bool believed_empty(
+      const DirEntry& entry) const noexcept override {
+    return entry.sharers == 0;
+  }
+
+  [[nodiscard]] SharerSet believed_sharers(
+      const DirEntry& entry) const noexcept override {
+    if (region_ == 1) {
+      return SharerSet::from_bitmap(entry.sharers);
+    }
+    SharerSet set;
+    std::uint64_t bits = entry.sharers;
+    while (bits != 0) {
+      const int r = std::countr_zero(bits);
+      bits &= bits - 1;
+      const int first = r * region_;
+      const int last = std::min(first + region_, num_nodes_);
+      for (int n = first; n < last; ++n) {
+        set.set(static_cast<NodeId>(n));
+      }
+    }
+    return set;
+  }
+
+ private:
+  int region_;
+  int num_nodes_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,46 @@
+// Full-map directory organisation (DASH, paper §2): one presence bit
+// per node in the entry's sharer word, exact at all times. Limited to
+// kFullMapNodes (64) nodes by the word width — that limit is this
+// organisation's, not the simulator's.
+#pragma once
+
+#include "core/directory_policy.hpp"
+
+namespace lssim {
+
+class FullMapDirectory final : public DirectoryPolicy {
+ public:
+  [[nodiscard]] DirectoryKind kind() const noexcept override {
+    return DirectoryKind::kFullMap;
+  }
+
+  void clear_sharers(DirEntry& entry) const noexcept override {
+    entry.sharers = 0;
+    entry.imprecise = false;
+  }
+
+  void add_sharer(DirEntry& entry, NodeId node) const noexcept override {
+    entry.add_sharer(node);
+  }
+
+  void remove_sharer(DirEntry& entry, NodeId node) const noexcept override {
+    entry.remove_sharer(node);
+  }
+
+  [[nodiscard]] bool may_be_sharer(const DirEntry& entry,
+                                   NodeId node) const noexcept override {
+    return entry.is_sharer(node);
+  }
+
+  [[nodiscard]] bool believed_empty(
+      const DirEntry& entry) const noexcept override {
+    return entry.sharers == 0;
+  }
+
+  [[nodiscard]] SharerSet believed_sharers(
+      const DirEntry& entry) const noexcept override {
+    return SharerSet::from_bitmap(entry.sharers);
+  }
+};
+
+}  // namespace lssim

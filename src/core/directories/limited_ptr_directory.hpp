@@ -1,0 +1,132 @@
+// Limited-pointer Dir_iB organisation (Agarwal et al., ISCA'88).
+//
+// The sharer word stores up to `pointers` (<= 7) real node identifiers
+// instead of a presence bitmap:
+//
+//   bits  0..55   seven 8-bit pointer slots, slot k = bits [8k, 8k+8)
+//   bits 56..58   pointer count (0..7)
+//   bit  63       overflow ("B" for broadcast): more sharers appeared
+//                 than pointers exist, the set is no longer tracked
+//
+// On overflow the entry turns imprecise and an ownership acquisition
+// must broadcast invalidations to every node (minus the requester).
+// Node ids fit the 8-bit slots because kMaxNodes is 256.
+#pragma once
+
+#include <cassert>
+
+#include "core/directory_policy.hpp"
+
+namespace lssim {
+
+class LimitedPtrDirectory final : public DirectoryPolicy {
+ public:
+  LimitedPtrDirectory(int pointers, int num_nodes) noexcept
+      : pointers_(pointers), num_nodes_(num_nodes) {
+    assert(pointers >= 1 && pointers <= kMaxPointers);
+  }
+
+  [[nodiscard]] DirectoryKind kind() const noexcept override {
+    return DirectoryKind::kLimitedPtr;
+  }
+
+  void clear_sharers(DirEntry& entry) const noexcept override {
+    entry.sharers = 0;
+    entry.imprecise = false;
+  }
+
+  void add_sharer(DirEntry& entry, NodeId node) const noexcept override {
+    if (overflowed(entry.sharers)) {
+      return;  // Broadcast already covers every node.
+    }
+    const int n = count(entry.sharers);
+    for (int k = 0; k < n; ++k) {
+      if (pointer(entry.sharers, k) == node) {
+        return;
+      }
+    }
+    if (n == pointers_) {
+      entry.sharers |= kOverflowBit;
+      entry.imprecise = true;
+      return;
+    }
+    entry.sharers |= std::uint64_t{node} << (8 * n);
+    entry.sharers = (entry.sharers & ~kCountMask) |
+                    (std::uint64_t(n + 1) << kCountShift);
+  }
+
+  void remove_sharer(DirEntry& entry, NodeId node) const noexcept override {
+    if (overflowed(entry.sharers)) {
+      return;  // Identity of the departing sharer is already lost.
+    }
+    const int n = count(entry.sharers);
+    for (int k = 0; k < n; ++k) {
+      if (pointer(entry.sharers, k) != node) {
+        continue;
+      }
+      // Compact: move the last pointer into the vacated slot.
+      const std::uint64_t last = pointer(entry.sharers, n - 1);
+      std::uint64_t word = entry.sharers;
+      word = (word & ~(std::uint64_t{0xFF} << (8 * k))) | (last << (8 * k));
+      word &= ~(std::uint64_t{0xFF} << (8 * (n - 1)));
+      entry.sharers =
+          (word & ~kCountMask) | (std::uint64_t(n - 1) << kCountShift);
+      return;
+    }
+  }
+
+  [[nodiscard]] bool may_be_sharer(const DirEntry& entry,
+                                   NodeId node) const noexcept override {
+    if (overflowed(entry.sharers)) {
+      return node < num_nodes_;
+    }
+    const int n = count(entry.sharers);
+    for (int k = 0; k < n; ++k) {
+      if (pointer(entry.sharers, k) == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool believed_empty(
+      const DirEntry& entry) const noexcept override {
+    return entry.sharers == 0;
+  }
+
+  [[nodiscard]] SharerSet believed_sharers(
+      const DirEntry& entry) const noexcept override {
+    if (overflowed(entry.sharers)) {
+      return SharerSet::first_n(num_nodes_);
+    }
+    SharerSet set;
+    const int n = count(entry.sharers);
+    for (int k = 0; k < n; ++k) {
+      set.set(pointer(entry.sharers, k));
+    }
+    return set;
+  }
+
+  static constexpr int kMaxPointers = 7;
+
+ private:
+  static constexpr int kCountShift = 56;
+  static constexpr std::uint64_t kCountMask = std::uint64_t{0x7}
+                                              << kCountShift;
+  static constexpr std::uint64_t kOverflowBit = std::uint64_t{1} << 63;
+
+  [[nodiscard]] static bool overflowed(std::uint64_t word) noexcept {
+    return (word & kOverflowBit) != 0;
+  }
+  [[nodiscard]] static int count(std::uint64_t word) noexcept {
+    return static_cast<int>((word & kCountMask) >> kCountShift);
+  }
+  [[nodiscard]] static NodeId pointer(std::uint64_t word, int k) noexcept {
+    return static_cast<NodeId>((word >> (8 * k)) & 0xFF);
+  }
+
+  int pointers_;
+  int num_nodes_;
+};
+
+}  // namespace lssim

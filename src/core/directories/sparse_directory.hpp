@@ -1,0 +1,38 @@
+// Sparse directory organisation (directory cache): entries exist for a
+// bounded number of blocks at a time instead of one per block ever
+// shared. When the population limit is hit, the engine evicts a victim
+// entry — invalidating (and writing back) every cached copy of the
+// victim block first, because a block without an entry must be uncached.
+//
+// Per-entry sharer tracking reuses the coarse bit-vector encoding with
+// auto-sized regions (exact full-map bits up to 64 nodes, regions
+// beyond), so the sparse organisation's distinguishing cost is entry
+// evictions, not encoding imprecision.
+#pragma once
+
+#include "core/directories/coarse_vector_directory.hpp"
+
+namespace lssim {
+
+class SparseDirectory final : public CoarseVectorDirectory {
+ public:
+  /// `entries` == 0 selects the default population bound of 1024.
+  SparseDirectory(std::uint32_t entries, int num_nodes) noexcept
+      : CoarseVectorDirectory(0, num_nodes),
+        max_entries_(entries != 0 ? entries : kDefaultEntries) {}
+
+  [[nodiscard]] DirectoryKind kind() const noexcept override {
+    return DirectoryKind::kSparse;
+  }
+
+  [[nodiscard]] std::uint32_t max_entries() const noexcept override {
+    return max_entries_;
+  }
+
+  static constexpr std::uint32_t kDefaultEntries = 1024;
+
+ private:
+  std::uint32_t max_entries_;
+};
+
+}  // namespace lssim

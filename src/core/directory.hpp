@@ -1,12 +1,18 @@
-// Full-map directory state (paper §2, §3.1 and Figure 1).
+// Directory state (paper §2, §3.1 and Figure 1).
 //
 // One DirEntry exists per memory block ever accessed globally. The entry
-// combines the DASH-style full-map state with the paper's LS extension
-// fields: the last-reader (LR) bit-field and the LS bit ("tagged" here,
-// since the AD technique reuses the same storage for its migratory bit).
+// combines the DASH-style state with the paper's LS extension fields:
+// the last-reader (LR) bit-field and the LS bit ("tagged" here, since
+// the AD technique reuses the same storage for its migratory bit). The
+// 64-bit `sharers` word is an *encoding* owned by the active directory
+// organisation (core/directory_policy.hpp): a presence bitmap under
+// full-map, packed node pointers under limited-pointer, region bits
+// under coarse-vector/sparse. The bitmap helpers below are the full-map
+// encoding's accessors, used by the full-map policy and by tests.
 //
 // Storage is an open-addressing flat hash table (power-of-two capacity,
-// linear probing, no tombstones — the directory never erases) rather than
+// linear probing, no tombstones — backward-shift deletion keeps probe
+// chains intact for the sparse organisation's evictions) rather than
 // std::unordered_map: the directory is consulted on every global access,
 // so the hot path is one multiply-shift hash plus a short probe over a
 // contiguous 24-byte-slot array instead of a bucket pointer chase. A
@@ -14,6 +20,7 @@
 // (spin-lock hand-offs, load-store sequences). See docs/PERFORMANCE.md.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -47,22 +54,28 @@ enum class DirState : std::uint8_t {
 }
 
 struct DirEntry {
-  std::uint64_t sharers = 0;          ///< Full-map presence bits (kShared).
+  /// Organisation-encoded sharer word (kShared): a presence bitmap under
+  /// full-map, packed node pointers under limited-pointer, region bits
+  /// under coarse-vector/sparse. Only the active DirectoryPolicy and the
+  /// bitmap helpers below interpret it.
+  std::uint64_t sharers = 0;
   NodeId owner = kInvalidNode;        ///< Valid in kDirty / kExcl.
   NodeId last_reader = kInvalidNode;  ///< Paper's LR field.
   NodeId last_writer = kInvalidNode;  ///< Used by AD's migratory detection.
   DirState state = DirState::kUncached;
-  bool tagged = false;                ///< LS bit / migratory bit.
-  /// kLimitedPtr: the sharer pointers overflowed; the directory no longer
-  /// knows the precise sharer set and must broadcast invalidations. (The
-  /// `sharers` bitmap is still maintained as simulation ground truth for
-  /// cache bookkeeping.)
-  bool ptr_overflow = false;
-  std::uint8_t tag_progress = 0;      ///< Hysteresis counters (§5.5).
-  std::uint8_t detag_progress = 0;
+  bool tagged : 1 = false;            ///< LS bit / migratory bit.
+  /// The organisation no longer knows the precise sharer set (Dir_iB
+  /// pointer overflow, coarse regions wider than one node): invalidations
+  /// must cover a superset and AD's migratory detector is blind.
+  bool imprecise : 1 = false;
+  std::uint8_t tag_progress : 3 = 0;  ///< Hysteresis counters (§5.5),
+  std::uint8_t detag_progress : 3 = 0;  ///< depth <= 7 (bit-field width).
 
+  /// Full-map-encoding accessors: bit n of `sharers` = node n (<= 64
+  /// nodes). Organisations with other encodings go through their
+  /// DirectoryPolicy instead.
   [[nodiscard]] int sharer_count() const noexcept {
-    return __builtin_popcountll(sharers);
+    return std::popcount(sharers);
   }
   [[nodiscard]] bool is_sharer(NodeId node) const noexcept {
     return (sharers >> node) & 1u;
@@ -73,9 +86,10 @@ struct DirEntry {
   }
 };
 
-// The presence bitmap plus all eight byte-wide fields pack into exactly
-// two words; a table slot (key + entry) is then 24 bytes, three per
-// cache line. Widening DirEntry is a hot-path regression — think twice.
+// The sharer word, three 16-bit node ids, the state byte and the packed
+// flag/hysteresis byte fit in exactly two words; a table slot (key +
+// entry) is then 24 bytes, three per cache line. Widening DirEntry is a
+// hot-path regression — think twice.
 static_assert(sizeof(DirEntry) == 16, "DirEntry must stay two words");
 
 class Directory {
@@ -146,6 +160,69 @@ class Directory {
       }
       i = (i + 1) & mask_;
     }
+  }
+
+  /// Removes `block`'s entry (sparse-organisation eviction). Uses
+  /// backward-shift deletion so probe chains need no tombstones; any
+  /// held entry reference and the MRU cache are invalidated. Returns
+  /// false when no entry exists.
+  bool erase(Addr block) noexcept {
+    assert(block != kEmptyKey && "block address collides with sentinel");
+    if (slots_.empty()) {
+      return false;
+    }
+    std::size_t i = probe_start(block);
+    while (slots_[i].key != block) {
+      if (slots_[i].key == kEmptyKey) {
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+    std::size_t hole = i;
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (slots_[j].key == kEmptyKey) {
+        break;
+      }
+      // Slot j's element may shift up only if its preferred position
+      // lies at or before the hole (cyclic probe distance).
+      const std::size_t preferred = probe_start(slots_[j].key);
+      if (((j - preferred) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+    size_ -= 1;
+    mru_key_ = kEmptyKey;  // Slots may have shifted.
+    return true;
+  }
+
+  /// Pre-sizes the table so `entries` entries fit without growing —
+  /// entry() then never invalidates references by rehashing (the sparse
+  /// organisation relies on this: its population is bounded up front).
+  void reserve(std::size_t entries) {
+    std::size_t capacity = std::max(slots_.size(), kInitialCapacity);
+    while (capacity - capacity / 4 < entries) {
+      capacity *= 2;
+    }
+    if (capacity > slots_.size()) {
+      grow(capacity);
+    }
+  }
+
+  /// Deterministic eviction victim for inserting `block` into a full
+  /// sparse directory: the first occupied slot at or after `block`'s
+  /// preferred position — the entry a real set-limited directory cache
+  /// would displace. The table must be non-empty.
+  [[nodiscard]] Addr victim_for(Addr block) const noexcept {
+    assert(size_ > 0);
+    std::size_t i = probe_start(block);
+    while (slots_[i].key == kEmptyKey) {
+      i = (i + 1) & mask_;
+    }
+    return slots_[i].key;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }

@@ -19,17 +19,11 @@ class AdPolicy final : public CoherencePolicy {
   /// Migratory detection: at an ownership acquisition (write hit on a
   /// Shared copy), exactly one other copy exists and it belongs to the
   /// last writer. Write *misses* carry no read-then-write evidence and
-  /// do not detect; a Dir_iB pointer overflow loses the sharer list and
-  /// blinds the detector.
+  /// do not detect; an imprecise sharer set (Dir_iB pointer overflow,
+  /// coarse regions) blinds the detector.
   WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
                                    bool upgrade) override {
-    if (!upgrade || entry.ptr_overflow) {
-      return {};
-    }
-    const std::uint64_t others =
-        entry.sharers & ~(std::uint64_t{1} << writer);
-    if (entry.last_writer != kInvalidNode && entry.last_writer != writer &&
-        others == (std::uint64_t{1} << entry.last_writer)) {
+    if (upgrade && migratory_evidence(entry, writer)) {
       return {TagAction::kTag, false, TagReason::kMigratoryDetect};
     }
     return {};

@@ -52,19 +52,9 @@ class LsAdHybridPolicy final : public CoherencePolicy {
   }
 
  private:
-  /// Stenström's detection, as in AdPolicy: at an upgrade, exactly one
-  /// other copy exists and belongs to the previous writer.
-  [[nodiscard]] static bool migratory_evidence(const DirEntry& entry,
-                                               NodeId writer) noexcept {
-    if (entry.ptr_overflow) {
-      return false;  // Dir_iB lost the sharer list: no evidence.
-    }
-    const std::uint64_t others =
-        entry.sharers & ~(std::uint64_t{1} << writer);
-    return entry.last_writer != kInvalidNode &&
-           entry.last_writer != writer &&
-           others == (std::uint64_t{1} << entry.last_writer);
-  }
+  // Stenström's detection reuses CoherencePolicy::migratory_evidence —
+  // decoded through the machine's directory organisation, blind on
+  // imprecise entries.
 
   bool keep_tag_on_lone_write_;
 };

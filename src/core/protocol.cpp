@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/invariants.hpp"
+#include "core/directory_registry.hpp"
 #include "core/protocol_registry.hpp"
 
 namespace lssim {
@@ -18,6 +19,8 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
       policy_(policy_override != nullptr ? std::move(policy_override)
                                          : make_policy(config)),
       policy_observes_accesses_(policy_->observes_accesses()),
+      dirpol_(make_directory_policy(config)),
+      dir_entry_limit_(dirpol_->max_entries()),
       net_(config.num_nodes, config.latency, stats, config.topology,
            telemetry != nullptr ? telemetry->metrics() : nullptr),
       dir_(config.protocol.default_tagged &&
@@ -29,6 +32,13 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
       trace_(telemetry != nullptr ? telemetry->trace() : nullptr),
       audit_(telemetry != nullptr ? telemetry->audit() : nullptr) {
   assert(config.validate().empty());
+  policy_->attach_directory_policy(dirpol_.get());
+  if (dir_entry_limit_ != 0) {
+    // Pre-size the table so entry() never rehashes: the eviction path
+    // keeps the population at the bound, and a held entry reference must
+    // survive a transaction (see Directory::entry).
+    dir_.reserve(dir_entry_limit_);
+  }
   caches_.reserve(static_cast<std::size_t>(config.num_nodes));
   for (int n = 0; n < config.num_nodes; ++n) {
     caches_.emplace_back(config.l1, config.l2);
@@ -222,11 +232,11 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
                    TagReason::kReplacement, block, node);
   switch (victim.state) {
     case CacheState::kShared:
-      assert(e.state == DirState::kShared && e.is_sharer(node));
-      e.remove_sharer(node);
-      if (e.sharer_count() == 0) {
+      assert(e.state == DirState::kShared && dirpol_->may_be_sharer(e, node));
+      dirpol_->remove_sharer(e, node);
+      if (dirpol_->believed_empty(e)) {
         e.state = DirState::kUncached;
-        e.ptr_overflow = false;
+        dirpol_->clear_sharers(e);
       }
       count_event(node, ProtoEventKind::kReplHint);
       if (home != node) {
@@ -263,11 +273,68 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
   }
 }
 
+DirEntry& MemorySystem::dir_entry_at(Addr block, Cycles now) {
+  if (dir_entry_limit_ != 0 && dir_.size() >= dir_entry_limit_ &&
+      dir_.find(block) == nullptr) {
+    evict_directory_entry(block, now);
+  }
+  return dir_.entry(block);
+}
+
+void MemorySystem::evict_directory_entry(Addr incoming, Cycles now) {
+  const Addr victim = dir_.victim_for(incoming);
+  DirEntry& e = dir_.entry(victim);
+  const NodeId home = space_.home_of(victim);
+  stats_.dir_entry_evictions += 1;
+  if (checker_ != nullptr) {
+    checker_->note_touched(victim);
+  }
+  switch (e.state) {
+    case DirState::kUncached:
+      break;
+    case DirState::kShared: {
+      // Eviction-forced invalidations: a block without a directory entry
+      // must be uncached everywhere, so every believed sharer that still
+      // holds a copy gives it up. Off the requesting transaction's
+      // critical path; the messages still load the network.
+      dirpol_->believed_sharers(e).for_each([&](NodeId s) {
+        if (!caches_[s].probe(victim).l2_hit) {
+          return;
+        }
+        leg(home, s, MsgType::kInval, now);
+        invalidate_cached_copy(s, victim);
+        leg(s, home, MsgType::kInvalAck, now);
+      });
+      break;
+    }
+    case DirState::kDirty:
+    case DirState::kExcl: {
+      const NodeId owner = e.owner;
+      assert(owner != kInvalidNode);
+      const ProbeResult op = caches_[owner].probe(victim);
+      assert(op.l2_hit);
+      leg(home, owner, MsgType::kInval, now);
+      if (op.state == CacheState::kLStemp) {
+        // The exclusive grant dies unused (predictor feedback, §3.1).
+        policy_->on_exclusive_grant_unused(
+            owner, caches_[owner].l2().find(victim)->grant_site);
+        leg(owner, home, MsgType::kInvalAck, now);
+      } else {
+        assert(op.state == CacheState::kModified);
+        leg(owner, home, MsgType::kWritebackData, now);
+      }
+      invalidate_cached_copy(owner, victim);
+      break;
+    }
+  }
+  dir_.erase(victim);
+}
+
 Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
                                   bool predicted_exclusive,
                                   std::uint32_t site) {
   const NodeId home = space_.home_of(block);
-  DirEntry& e = dir_.entry(block);
+  DirEntry& e = dir_entry_at(block, now);
   // Exclusive read replies: data-centric (home tag, LS/AD) or
   // instruction-centric (requester-side prediction, ILS).
   const bool want_exclusive =
@@ -297,8 +364,7 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
         stats_.exclusive_read_replies += 1;
       } else {
         e.state = DirState::kShared;
-        e.add_sharer(node);
-        e.ptr_overflow = false;  // One precise pointer.
+        dirpol_->add_sharer(e, node);
       }
       t = leg(home, node,
               fill_state == CacheState::kLStemp ? MsgType::kDataExclRead
@@ -308,12 +374,7 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
       break;
     }
     case DirState::kShared: {
-      assert(!e.is_sharer(node));
-      e.add_sharer(node);
-      if (cfg_.directory_scheme == DirectoryScheme::kLimitedPtr &&
-          e.sharer_count() > cfg_.directory_pointers) {
-        e.ptr_overflow = true;  // Dir_iB: fall back to broadcast.
-      }
+      dirpol_->add_sharer(e, node);
       t = leg(home, node, MsgType::kDataShared, t);
       t += lat_.fill;
       break;
@@ -343,10 +404,9 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
         trace_instant(owner, ProtoEventKind::kNotLs, block, now);
         t = leg_noegress(owner, home, MsgType::kNotLs, t);
         e.state = DirState::kShared;
-        e.sharers = 0;
-        e.add_sharer(owner);
-        e.add_sharer(node);
-        e.ptr_overflow = false;  // Two precise pointers.
+        dirpol_->clear_sharers(e);
+        dirpol_->add_sharer(e, owner);
+        dirpol_->add_sharer(e, node);
         e.owner = kInvalidNode;
         t = leg(home, node, MsgType::kDataShared, t);
         t += lat_.fill;
@@ -361,7 +421,7 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
           t += lat_.memory;
           e.state = DirState::kExcl;
           e.owner = node;
-          e.sharers = 0;
+          dirpol_->clear_sharers(e);
           fill_state = CacheState::kLStemp;
           stats_.exclusive_read_replies += 1;
           log_.record(now, ProtoEventKind::kMigrate, block, node, e.state,
@@ -376,10 +436,9 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
           t = leg_noegress(owner, home, MsgType::kSharingWb, t);
           t += lat_.memory;
           e.state = DirState::kShared;
-          e.sharers = 0;
-          e.add_sharer(owner);
-          e.add_sharer(node);
-          e.ptr_overflow = false;  // Two precise pointers.
+          dirpol_->clear_sharers(e);
+          dirpol_->add_sharer(e, owner);
+          dirpol_->add_sharer(e, node);
           e.owner = kInvalidNode;
           t = leg(home, node, MsgType::kDataShared, t);
           t += lat_.fill;
@@ -405,7 +464,7 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
 Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
                                      bool upgrade) {
   const NodeId home = space_.home_of(block);
-  DirEntry& e = dir_.entry(block);
+  DirEntry& e = dir_entry_at(block, now);
 
   stats_.global_write_actions += 1;
   if (!upgrade) {
@@ -439,20 +498,15 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
     log_.record(now, ProtoEventKind::kUpgrade, block, node, e.state,
                 e.tagged);
     count_event(node, ProtoEventKind::kUpgrade);
-    assert(e.state == DirState::kShared && e.is_sharer(node));
+    assert(e.state == DirState::kShared && dirpol_->may_be_sharer(e, node));
     completion = leg(home, node, MsgType::kOwnAck, t_dir);
 
-    std::uint64_t others = e.sharers & ~(std::uint64_t{1} << node);
-    std::uint64_t inval_targets = others;
-    if (e.ptr_overflow) {
-      // Dir_iB overflow: broadcast — every other node receives an
-      // invalidation (and acknowledges), cached copy or not.
-      inval_targets = ((cfg_.num_nodes >= 64)
-                           ? ~std::uint64_t{0}
-                           : ((std::uint64_t{1} << cfg_.num_nodes) - 1)) &
-                      ~(std::uint64_t{1} << node);
-    }
-    const int count = __builtin_popcountll(others);
+    // The organisation resolves who must be invalidated: the exact
+    // sharer set under full-map, a broadcast after Dir_iB overflow,
+    // whole regions under coarse vectors. Every target receives an
+    // invalidation (and acknowledges), cached copy or not.
+    const SharerSet targets = dirpol_->invalidation_targets(e, node);
+    const int count = targets.count();
     // AD-style de-detection: a write invalidating several copies is
     // evidence the block is read-shared, not migratory.
     apply_tag_action(policy_->on_upgrade_invalidations(e, count), e,
@@ -462,22 +516,19 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
       stats_.single_invalidations += 1;
     }
     Cycles issue = t_dir;
-    while (inval_targets != 0) {
-      const NodeId s = static_cast<NodeId>(__builtin_ctzll(inval_targets));
-      inval_targets &= inval_targets - 1;
+    targets.for_each([&](NodeId s) {
       Cycles a = leg(home, s, MsgType::kInval, issue);
       a += lat_.l2_access;
-      if (e.is_sharer(s)) {
+      if (caches_[s].probe(block).l2_hit) {
         invalidate_cached_copy(s, block);
       }
       a = leg(s, node, MsgType::kInvalAck, a);
       completion = std::max(completion, a);
       issue += lat_.controller;  // Directory issues invalidations serially.
-    }
+    });
     e.state = DirState::kDirty;
     e.owner = node;
-    e.sharers = 0;
-    e.ptr_overflow = false;
+    dirpol_->clear_sharers(e);
     caches_[node].set_state(block, CacheState::kModified);
   } else {
     switch (e.state) {
@@ -487,16 +538,8 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
         break;
       }
       case DirState::kShared: {
-        assert(!e.is_sharer(node));
-        std::uint64_t inval_targets = e.sharers;
-        if (e.ptr_overflow) {
-          inval_targets =
-              ((cfg_.num_nodes >= 64)
-                   ? ~std::uint64_t{0}
-                   : ((std::uint64_t{1} << cfg_.num_nodes) - 1)) &
-              ~(std::uint64_t{1} << node);
-        }
-        const int count = __builtin_popcountll(e.sharers);
+        const SharerSet targets = dirpol_->invalidation_targets(e, node);
+        const int count = targets.count();
         stats_.invalidations_sent += static_cast<std::uint64_t>(count);
         if (count == 1) {
           stats_.single_invalidations += 1;
@@ -505,19 +548,16 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
         data += lat_.fill;
         completion = data;
         Cycles issue = t_dir;
-        while (inval_targets != 0) {
-          const NodeId s =
-              static_cast<NodeId>(__builtin_ctzll(inval_targets));
-          inval_targets &= inval_targets - 1;
+        targets.for_each([&](NodeId s) {
           Cycles a = leg(home, s, MsgType::kInval, issue);
           a += lat_.l2_access;
-          if (e.is_sharer(s)) {
+          if (caches_[s].probe(block).l2_hit) {
             invalidate_cached_copy(s, block);
           }
           a = leg(s, node, MsgType::kInvalAck, a);
           completion = std::max(completion, a);
           issue += lat_.controller;
-        }
+        });
         break;
       }
       case DirState::kDirty:
@@ -552,8 +592,7 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
     }
     e.state = DirState::kDirty;
     e.owner = node;
-    e.sharers = 0;
-    e.ptr_overflow = false;
+    dirpol_->clear_sharers(e);
     const CacheLine victim = caches_[node].fill(block, CacheState::kModified);
     handle_l2_victim(node, victim, completion);
     fs_.on_fill(node, block, *caches_[node].l2().find(block));
@@ -656,36 +695,41 @@ bool MemorySystem::check_coherence_invariants() const {
     int shared_copies = 0;
     int excl_copies = 0;
     for (std::size_t n = 0; n < caches_.size(); ++n) {
+      const NodeId id = static_cast<NodeId>(n);
       const ProbeResult p = caches_[n].probe(block);
       if (!p.l2_hit) {
-        if (e.state == DirState::kShared && e.is_sharer(static_cast<NodeId>(n)))
+        // A precise entry claims exact membership; an imprecise believed
+        // set (Dir_iB overflow, coarse regions) may cover caches that
+        // hold nothing.
+        if (e.state == DirState::kShared && !e.imprecise &&
+            dirpol_->may_be_sharer(e, id))
           ok = false;
         continue;
       }
       switch (p.state) {
         case CacheState::kShared:
           ++shared_copies;
-          if (e.state != DirState::kShared ||
-              !e.is_sharer(static_cast<NodeId>(n)))
+          // Superset rule: a real holder must always be believed.
+          if (e.state != DirState::kShared || !dirpol_->may_be_sharer(e, id))
             ok = false;
           break;
         case CacheState::kModified:
           ++excl_copies;
           if ((e.state != DirState::kDirty && e.state != DirState::kExcl) ||
-              e.owner != static_cast<NodeId>(n))
+              e.owner != id)
             ok = false;
           break;
         case CacheState::kLStemp:
           ++excl_copies;
-          if (e.state != DirState::kExcl || e.owner != static_cast<NodeId>(n))
-            ok = false;
+          if (e.state != DirState::kExcl || e.owner != id) ok = false;
           break;
         case CacheState::kInvalid:
           break;
       }
     }
     if (excl_copies > 1 || (excl_copies == 1 && shared_copies > 0)) ok = false;
-    if (e.state == DirState::kShared && shared_copies != e.sharer_count())
+    if (e.state == DirState::kShared && !e.imprecise &&
+        shared_copies != dirpol_->believed_sharers(e).count())
       ok = false;
     if ((e.state == DirState::kDirty || e.state == DirState::kExcl) &&
         excl_copies != 1)

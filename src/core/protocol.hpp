@@ -27,6 +27,7 @@
 #include "cache/hierarchy.hpp"
 #include "core/coherence_policy.hpp"
 #include "core/directory.hpp"
+#include "core/directory_policy.hpp"
 #include "mem/address_space.hpp"
 #include "net/network.hpp"
 #include "sim/config.hpp"
@@ -118,6 +119,10 @@ class MemorySystem {
   [[nodiscard]] Network& network() noexcept { return net_; }
   [[nodiscard]] Directory& directory() noexcept { return dir_; }
   [[nodiscard]] const Directory& directory() const noexcept { return dir_; }
+  /// The directory organisation decoding this machine's sharer words.
+  [[nodiscard]] const DirectoryPolicy& directory_policy() const noexcept {
+    return *dirpol_;
+  }
   [[nodiscard]] CacheHierarchy& cache(NodeId node) noexcept {
     return caches_[node];
   }
@@ -152,6 +157,13 @@ class MemorySystem {
 
   void handle_l2_victim(NodeId node, const CacheLine& victim, Cycles t);
   void invalidate_cached_copy(NodeId node, Addr block);
+
+  /// Directory entry for `block` at the start of a global transaction.
+  /// Under the sparse organisation this is where the bounded population
+  /// is enforced: inserting a new block into a full table first evicts a
+  /// victim entry (invalidating its cached copies).
+  DirEntry& dir_entry_at(Addr block, Cycles now);
+  void evict_directory_entry(Addr incoming, Cycles now);
 
   /// Telemetry hooks (no-ops when the corresponding pillar is off).
   void count_event(NodeId node, ProtoEventKind kind) {
@@ -216,6 +228,11 @@ class MemorySystem {
   /// Cached policy_->observes_accesses() so passive policies keep the
   /// L1-hit fast path free of virtual dispatch.
   bool policy_observes_accesses_ = false;
+  /// The directory organisation (full-map, limited-ptr, coarse, sparse):
+  /// owns the sharer-word encoding, resolves invalidation targets.
+  std::unique_ptr<DirectoryPolicy> dirpol_;
+  /// Sparse organisation's entry-population bound; 0 = unbounded.
+  std::uint32_t dir_entry_limit_ = 0;
   Network net_;
   Directory dir_;
   std::vector<CacheHierarchy> caches_;

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "core/directory_registry.hpp"
 #include "core/protocol_registry.hpp"
 #include "driver/runner.hpp"
 
@@ -85,7 +86,7 @@ std::string driver_usage() {
          "  --compare          run every registered protocol, normalized "
          "to Baseline" +
          R"(
-  --procs N          processors (1..64, default 4)
+  --procs N          processors (1..256, default 4; full-map needs <= 64)
   --l1 SIZE          L1 capacity, e.g. 4k             (default per paper)
   --l2 SIZE          L2 capacity, e.g. 64k
   --assoc N          L1 associativity
@@ -99,6 +100,14 @@ std::string driver_usage() {
   --format F         text | csv | json                (default text)
 
   --protocols A,B    run several protocols (e.g. baseline,ls)
+  --directory D      directory organisation: )" +
+         registered_directory_names(" | ") + R"(
+                     (default full-map, case-insensitive)
+  --directories A,B  sweep several organisations; the driver runs the
+                     full protocols x directories matrix
+  --dir-pointers N   limited-ptr: pointers per entry (1..7, default 4)
+  --dir-region N     coarse: nodes per presence bit (0 = auto)
+  --dir-entries N    sparse: directory-cache capacity (0 = auto 1024)
   --jobs N           host threads for multi-protocol sweeps
                      (default: all cores; results identical for any N)
   --metrics-out F    write metrics snapshots as JSON ("-" = stdout)
@@ -159,6 +168,46 @@ bool parse_driver_args(int argc, const char* const* argv,
       std::vector<ProtocolKind> kinds;
       if (!resolve_protocol_list(value, &kinds, error)) return false;
       options->protocols = std::move(kinds);
+    } else if (arg == "--directory") {
+      if (!need_value(i, &value)) return false;
+      const DirectoryInfo* info = find_directory(value);
+      if (info == nullptr) {
+        *error = "unknown directory organisation: " + value +
+                 " (registered: " + registered_directory_names() + ")";
+        return false;
+      }
+      options->directories = {info->kind};
+      options->machine.directory_scheme = info->kind;
+    } else if (arg == "--directories") {
+      if (!need_value(i, &value)) return false;
+      std::vector<DirectoryKind> kinds;
+      if (!resolve_directory_list(value, &kinds, error)) return false;
+      options->directories = std::move(kinds);
+      options->machine.directory_scheme = options->directories.front();
+    } else if (arg == "--dir-pointers") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n < 1 || n > 7) {
+        *error = "bad --dir-pointers (expected 1..7): " + value;
+        return false;
+      }
+      options->machine.directory_pointers = static_cast<std::uint8_t>(n);
+    } else if (arg == "--dir-region") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n > 256) {
+        *error = "bad --dir-region (expected 0..256, 0 = auto): " + value;
+        return false;
+      }
+      options->machine.directory_region = static_cast<std::uint16_t>(n);
+    } else if (arg == "--dir-entries") {
+      if (!need_value(i, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n)) {
+        *error = "bad --dir-entries: " + value;
+        return false;
+      }
+      options->machine.directory_entries = static_cast<std::uint32_t>(n);
     } else if (arg == "--metrics-out") {
       if (!need_value(i, &value)) return false;
       options->metrics_out = value;
@@ -218,7 +267,7 @@ bool parse_driver_args(int argc, const char* const* argv,
     } else if (arg == "--procs") {
       if (!need_value(i, &value)) return false;
       std::uint64_t n = 0;
-      if (!parse_u64(value, &n) || n < 1 || n > 64) {
+      if (!parse_u64(value, &n) || n < 1 || n > kMaxNodes) {
         *error = "bad --procs: " + value;
         return false;
       }

@@ -25,6 +25,11 @@ struct DriverOptions {
   std::string workload = "pingpong";
   std::vector<ProtocolKind> protocols{ProtocolKind::kBaseline};
   bool compare = false;  ///< Run Baseline+AD+LS+ILS side by side.
+  /// Directory organisations to sweep (--directory/--directories). The
+  /// driver runs the full protocols × directories matrix,
+  /// protocol-major, so a single-directory invocation is byte-identical
+  /// to the pre-matrix driver.
+  std::vector<DirectoryKind> directories{DirectoryKind::kFullMap};
   MachineConfig machine;
   std::uint64_t seed = 1;
   OutputFormat format = OutputFormat::kText;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "check/invariants.hpp"
+#include "core/directory_registry.hpp"
 #include "core/protocol_registry.hpp"
 #include "exec/heartbeat.hpp"
 #include "exec/parallel_executor.hpp"
@@ -88,6 +89,31 @@ bool resolve_protocol_list(const std::string& csv,
     if (info == nullptr) {
       *error = "unknown protocol '" + name + "' in --protocols " + csv +
                " (registered: " + registered_protocol_names() + ")";
+      return false;
+    }
+    if (std::find(kinds.begin(), kinds.end(), info->kind) == kinds.end()) {
+      kinds.push_back(info->kind);
+    }
+    start = comma + 1;
+  }
+  *out = std::move(kinds);
+  return true;
+}
+
+bool resolve_directory_list(const std::string& csv,
+                            std::vector<DirectoryKind>* out,
+                            std::string* error) {
+  std::vector<DirectoryKind> kinds;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string name = csv.substr(start, comma - start);
+    const DirectoryInfo* info = find_directory(name);
+    if (info == nullptr) {
+      *error = "unknown directory organisation '" + name +
+               "' in --directories " + csv +
+               " (registered: " + registered_directory_names() + ")";
       return false;
     }
     if (std::find(kinds.begin(), kinds.end(), info->kind) == kinds.end()) {
@@ -246,10 +272,18 @@ std::vector<DriverRun> run_driver_workloads_captured(
   // build each task's own builder inside the task — the ownership rule
   // at the executor seam: nothing mutable is shared between runs).
   (void)make_driver_builder(options);
+  // Protocol-major matrix: for --directories a,b the runs come out as
+  // p0@a, p0@b, p1@a, ... With a single directory this degenerates to
+  // the plain per-protocol sweep.
+  const std::size_t dirs = std::max<std::size_t>(1, options.directories.size());
   return parallel_map<DriverRun>(
-      options.protocols.size(), options.jobs,
-      [&options, heartbeat](std::size_t i) {
-        return run_driver_workload_captured(options, options.protocols[i],
+      options.protocols.size() * dirs, options.jobs,
+      [&options, heartbeat, dirs](std::size_t i) {
+        DriverOptions task = options;
+        if (!options.directories.empty()) {
+          task.machine.directory_scheme = options.directories[i % dirs];
+        }
+        return run_driver_workload_captured(task, options.protocols[i / dirs],
                                             heartbeat);
       });
 }
@@ -285,6 +319,18 @@ bool write_artifact(const std::string& path, const char* what, Emit&& emit,
   return true;
 }
 
+/// Label for one run in artifacts and reports: the protocol name alone
+/// for single-directory invocations (matching the pre-matrix driver
+/// byte-for-byte), "Protocol@organisation" when sweeping several.
+std::string run_label(const DriverOptions& options, const RunResult& r) {
+  std::string label = to_string(r.protocol);
+  if (options.directories.size() > 1) {
+    label += '@';
+    label += directory_name(r.directory);
+  }
+  return label;
+}
+
 }  // namespace
 
 bool write_driver_artifacts(const DriverOptions& options,
@@ -296,6 +342,8 @@ bool write_driver_artifacts(const DriverOptions& options,
     for (const DriverRun& run : runs) {
       Json::Object entry;
       entry.emplace_back("protocol", Json(to_string(run.result.protocol)));
+      entry.emplace_back("directory",
+                         Json(directory_name(run.result.directory)));
       entry.emplace_back("metrics", snapshot_to_json(run.metrics));
       documents.emplace_back(std::move(entry));
     }
@@ -314,7 +362,7 @@ bool write_driver_artifacts(const DriverOptions& options,
     processes.reserve(runs.size());
     for (const DriverRun& run : runs) {
       processes.push_back(
-          TraceProcess{to_string(run.result.protocol), &run.trace, nullptr});
+          TraceProcess{run_label(options, run.result), &run.trace, nullptr});
     }
     const bool ok = write_artifact(
         options.perfetto_out, "trace",
@@ -326,8 +374,8 @@ bool write_driver_artifacts(const DriverOptions& options,
     std::vector<LatencyReportRun> entries;
     entries.reserve(runs.size());
     for (const DriverRun& run : runs) {
-      entries.push_back(LatencyReportRun{to_string(run.result.protocol),
-                                         &run.metrics});
+      entries.push_back(
+          LatencyReportRun{run_label(options, run.result), &run.metrics});
     }
     const Json doc =
         latency_report_to_json(options.workload, options.seed, entries);
@@ -343,9 +391,10 @@ bool write_driver_artifacts(const DriverOptions& options,
   if (!options.audit_out.empty()) {
     const bool ok = write_artifact(
         options.audit_out, "audit trail",
-        [&runs](std::ostream& os) {
+        [&runs, &options](std::ostream& os) {
           for (const DriverRun& run : runs) {
-            write_audit_jsonl(os, run.audit, to_string(run.result.protocol));
+            write_audit_jsonl(os, run.audit,
+                              run_label(options, run.result));
           }
         },
         error);
@@ -374,17 +423,24 @@ bool write_driver_artifacts(const DriverOptions& options,
 
 namespace {
 
-void print_text(std::ostream& os, const std::vector<RunResult>& results) {
+void print_text(std::ostream& os, const DriverOptions& options,
+                const std::vector<RunResult>& results) {
   const RunResult& base = results.front();
-  os << "protocol   exec-cycles        busy  read-stall write-stall"
+  const bool multi_dir = options.directories.size() > 1;
+  os << (multi_dir ? "protocol@directory  " : "protocol  ")
+     << " exec-cycles        busy  read-stall write-stall"
         "   messages  rd-misses  eliminated";
   if (results.size() > 1) os << "   (norm exec)";
   os << "\n";
   for (const RunResult& r : results) {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "%-9s %12llu %11llu %11llu %11llu %10llu %10llu %11llu",
-                  to_string(r.protocol),
+                  multi_dir
+                      ? "%-19s %12llu %11llu %11llu %11llu %10llu %10llu "
+                        "%11llu"
+                      : "%-9s %12llu %11llu %11llu %11llu %10llu %10llu "
+                        "%11llu",
+                  run_label(options, r).c_str(),
                   static_cast<unsigned long long>(r.exec_time),
                   static_cast<unsigned long long>(r.time.busy),
                   static_cast<unsigned long long>(r.time.read_stall),
@@ -404,15 +460,17 @@ void print_text(std::ostream& os, const std::vector<RunResult>& results) {
 }
 
 void print_csv(std::ostream& os, const std::vector<RunResult>& results) {
-  os << "protocol,exec_cycles,busy,read_stall,write_stall,messages,"
-        "read_misses,write_actions,eliminated,invalidations,"
-        "false_sharing_misses\n";
+  os << "protocol,directory,exec_cycles,busy,read_stall,write_stall,"
+        "messages,read_misses,write_actions,eliminated,invalidations,"
+        "false_sharing_misses,dir_entry_evictions\n";
   for (const RunResult& r : results) {
-    os << to_string(r.protocol) << ',' << r.exec_time << ',' << r.time.busy
+    os << to_string(r.protocol) << ',' << directory_name(r.directory) << ','
+       << r.exec_time << ',' << r.time.busy
        << ',' << r.time.read_stall << ',' << r.time.write_stall << ','
        << r.traffic_total << ',' << r.global_read_misses << ','
        << r.global_write_actions << ',' << r.eliminated_acquisitions << ','
-       << r.invalidations << ',' << r.false_sharing_misses << "\n";
+       << r.invalidations << ',' << r.false_sharing_misses << ','
+       << r.dir_entry_evictions << "\n";
   }
 }
 
@@ -421,6 +479,7 @@ void print_json(std::ostream& os, const std::vector<RunResult>& results) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     os << "  {\"protocol\":\"" << to_string(r.protocol) << "\""
+       << ",\"directory\":\"" << directory_name(r.directory) << "\""
        << ",\"exec_cycles\":" << r.exec_time
        << ",\"busy\":" << r.time.busy
        << ",\"read_stall\":" << r.time.read_stall
@@ -444,7 +503,7 @@ void print_driver_results(std::ostream& os, const DriverOptions& options,
   if (results.empty()) return;
   switch (options.format) {
     case OutputFormat::kText:
-      print_text(os, results);
+      print_text(os, options, results);
       break;
     case OutputFormat::kCsv:
       print_csv(os, results);

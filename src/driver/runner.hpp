@@ -28,6 +28,14 @@ bool resolve_protocol_list(const std::string& csv,
                            std::vector<ProtocolKind>* out,
                            std::string* error);
 
+/// As resolve_protocol_list, for --directories: resolves a
+/// comma-separated list of directory-organisation names through the
+/// directory registry. On failure the error message lists the
+/// registered organisation names.
+bool resolve_directory_list(const std::string& csv,
+                            std::vector<DirectoryKind>* out,
+                            std::string* error);
+
 /// Builds the WorkloadBuilder for `options.workload` with its --set
 /// parameters applied; throws std::invalid_argument on unknown workloads
 /// or parameters. Useful for callers that own their System (tracing).
@@ -62,11 +70,12 @@ DriverRun run_driver_workload_captured(const DriverOptions& options,
                                        ProtocolKind kind,
                                        HeartbeatEmitter* heartbeat = nullptr);
 
-/// Runs every protocol in `options.protocols`, fanned out across up to
-/// `options.jobs` host threads (0 = all cores). Results are ordered by
-/// `options.protocols` regardless of completion order, so reports,
-/// manifests and Perfetto exports are byte-identical to a serial sweep.
-/// `heartbeat` (optional, thread-safe) observes progress across workers.
+/// Runs the full `options.protocols` × `options.directories` matrix,
+/// protocol-major, fanned out across up to `options.jobs` host threads
+/// (0 = all cores). Results are ordered by that matrix regardless of
+/// completion order, so reports, manifests and Perfetto exports are
+/// byte-identical to a serial sweep. `heartbeat` (optional,
+/// thread-safe) observes progress across workers.
 std::vector<DriverRun> run_driver_workloads_captured(
     const DriverOptions& options, HeartbeatEmitter* heartbeat = nullptr);
 

@@ -47,6 +47,28 @@ bool matches_alias(std::string_view text, const char* aliases) noexcept {
 
 }  // namespace
 
+const char* directory_name(DirectoryKind kind) noexcept {
+  for (const DirectoryNameEntry& entry : kDirectoryNameTable) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+bool directory_from_name(std::string_view text, DirectoryKind* out) noexcept {
+  if (text.empty()) {
+    return false;
+  }
+  for (const DirectoryNameEntry& entry : kDirectoryNameTable) {
+    if (iequals(text, entry.name) || matches_alias(text, entry.aliases)) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* protocol_name(ProtocolKind kind) noexcept {
   for (const ProtocolNameEntry& entry : kProtocolNameTable) {
     if (entry.kind == kind) {
@@ -90,7 +112,27 @@ MachineConfig MachineConfig::oltp_default(ProtocolKind kind, int nodes) {
 
 std::string MachineConfig::validate() const {
   if (num_nodes < 1 || num_nodes > kMaxNodes) {
-    return "num_nodes must be in [1, 64]";
+    return "num_nodes must be in [1, 256]";
+  }
+  if (directory_scheme == DirectoryKind::kFullMap &&
+      num_nodes > kFullMapNodes) {
+    return "full-map directory supports at most 64 nodes (use the "
+           "limited-ptr, coarse or sparse organisation)";
+  }
+  if (directory_scheme == DirectoryKind::kLimitedPtr &&
+      (directory_pointers < 1 || directory_pointers > 7)) {
+    return "directory_pointers must be in [1, 7] (Dir_iB pointers share "
+           "the entry's sharer word with a control byte)";
+  }
+  if (directory_scheme == DirectoryKind::kCoarseVector &&
+      directory_region != 0 &&
+      static_cast<int>(directory_region) * kFullMapNodes < num_nodes) {
+    return "directory_region too small: 64 region bits must cover every "
+           "node (region * 64 >= num_nodes)";
+  }
+  if (classify_false_sharing && num_nodes > kFullMapNodes) {
+    return "classify_false_sharing tracks per-node word masks in 64-bit "
+           "words and requires num_nodes <= 64";
   }
   if (!std::has_single_bit(page_bytes)) {
     return "page_bytes must be a power of two";
@@ -123,6 +165,10 @@ std::string MachineConfig::validate() const {
   }
   if (protocol.tag_hysteresis == 0 || protocol.detag_hysteresis == 0) {
     return "hysteresis depths must be at least 1";
+  }
+  if (protocol.tag_hysteresis > 7 || protocol.detag_hysteresis > 7) {
+    return "hysteresis depths above 7 are not supported (3-bit progress "
+           "counters in DirEntry)";
   }
   return {};
 }

@@ -114,21 +114,62 @@ struct ProtocolConfig {
   bool ad_detag_on_replacement = true;
 };
 
-/// Directory organisation.
-///   kFullMap    — one presence bit per node (the paper's machine).
-///   kLimitedPtr — Dir_iB (Agarwal et al.): `directory_pointers` sharer
-///                 pointers; when they overflow, the directory falls back
-///                 to broadcast invalidation and loses precise-sharer
-///                 knowledge (which also blinds AD's migratory detection
-///                 — the LS bit needs no sharer list and is unaffected).
-enum class DirectoryScheme : std::uint8_t { kFullMap, kLimitedPtr };
+/// Directory organisation. Each kind is backed by a DirectoryPolicy
+/// implementation (src/core/directories/) resolved through the directory
+/// registry (src/core/directory_registry.hpp).
+///   kFullMap      — one presence bit per node (the paper's machine);
+///                   exact sharer knowledge, at most kFullMapNodes nodes.
+///   kLimitedPtr   — Dir_iB (Agarwal et al., ISCA'88):
+///                   `directory_pointers` sharer pointers stored in the
+///                   entry; when they overflow, the directory falls back
+///                   to broadcast invalidation and loses precise-sharer
+///                   knowledge (which also blinds AD's migratory
+///                   detection — the LS bit needs no sharer list and is
+///                   unaffected).
+///   kCoarseVector — coarse bit-vector (Gupta et al.): each presence bit
+///                   covers a region of `directory_region` consecutive
+///                   nodes; invalidations go to whole regions.
+///   kSparse       — sparse directory / directory cache (Gupta et al.,
+///                   O'Krafka & Newton): at most `directory_entries`
+///                   entries; inserting into a full directory evicts a
+///                   victim entry, force-invalidating its cached copies.
+enum class DirectoryKind : std::uint8_t {
+  kFullMap,
+  kLimitedPtr,
+  kCoarseVector,
+  kSparse,
+};
 
-[[nodiscard]] constexpr const char* to_string(DirectoryScheme s) noexcept {
-  switch (s) {
-    case DirectoryScheme::kFullMap: return "full-map";
-    case DirectoryScheme::kLimitedPtr: return "limited-ptr";
-  }
-  return "?";
+inline constexpr int kNumDirectoryKinds = 4;
+
+/// One row of the directory-name table — the directory registry's
+/// equivalent of kProtocolNameTable above, and the same contract: the
+/// registry, the driver's --directory/--directories parsing, repro files
+/// and the manifest reader all resolve through it. Adding an
+/// organisation means adding one row here plus one registration in
+/// core/directory_registry.cpp.
+struct DirectoryNameEntry {
+  DirectoryKind kind;
+  const char* name;     ///< Canonical, e.g. "full-map".
+  const char* aliases;  ///< Space-separated lowercase extras ("" = none).
+};
+
+inline constexpr DirectoryNameEntry kDirectoryNameTable[kNumDirectoryKinds] = {
+    {DirectoryKind::kFullMap, "full-map", "fullmap full"},
+    {DirectoryKind::kLimitedPtr, "limited-ptr", "limited dir-ib dirib"},
+    {DirectoryKind::kCoarseVector, "coarse", "coarse-vector region"},
+    {DirectoryKind::kSparse, "sparse", "directory-cache dir-cache"},
+};
+
+/// Canonical display name of `kind` (the table's `name` column).
+[[nodiscard]] const char* directory_name(DirectoryKind kind) noexcept;
+
+/// Inverse of directory_name: resolves a canonical name or alias
+/// (case-insensitive) back to the kind. Returns false on unknown names.
+bool directory_from_name(std::string_view text, DirectoryKind* out) noexcept;
+
+[[nodiscard]] inline const char* to_string(DirectoryKind kind) noexcept {
+  return directory_name(kind);
 }
 
 /// Interconnection topology (paper baseline: fixed-delay point-to-point,
@@ -203,9 +244,17 @@ struct MachineConfig {
 
   Topology topology = Topology::kCrossbar;
 
-  DirectoryScheme directory_scheme = DirectoryScheme::kFullMap;
-  /// Sharer pointers per entry under kLimitedPtr (Dir_iB).
+  DirectoryKind directory_scheme = DirectoryKind::kFullMap;
+  /// Sharer pointers per entry under kLimitedPtr (Dir_iB); 1..7 (the
+  /// pointers share the entry's 64-bit sharer word with a control byte).
   std::uint8_t directory_pointers = 4;
+  /// Nodes covered per presence bit under kCoarseVector; 0 = auto
+  /// (ceil(num_nodes / 64), the smallest region that fits the machine —
+  /// which is 1, i.e. exact full-map behaviour, up to 64 nodes).
+  std::uint16_t directory_region = 0;
+  /// Directory entries under kSparse; 0 = auto (1024). Inserting past
+  /// this bound evicts a victim entry and invalidates its cached copies.
+  std::uint32_t directory_entries = 0;
 
   /// When nonzero, System records an EpochSample of headline counters
   /// every `stats_epoch` simulated cycles (see stats/timeline.hpp).

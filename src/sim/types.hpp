@@ -15,12 +15,23 @@ using Addr = std::uint64_t;
 /// Simulated time, in processor clock cycles.
 using Cycles = std::uint64_t;
 
-/// Node (processor/memory-module) identifier. The full-map directory
-/// supports up to 64 nodes.
-using NodeId = std::uint8_t;
+/// Node (processor/memory-module) identifier. 16 bits so machines larger
+/// than 255 nodes are representable alongside the invalid sentinel.
+using NodeId = std::uint16_t;
 
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
-inline constexpr int kMaxNodes = 64;
+
+/// Machine-size ceiling. Directory organisations bound what is actually
+/// reachable: the full-map organisation tracks at most kFullMapNodes
+/// (one presence bit per node in a 64-bit word); limited-pointer, coarse
+/// bit-vector and sparse organisations scale to kMaxNodes (see
+/// core/directory_policy.hpp).
+inline constexpr int kMaxNodes = 256;
+
+/// Node ceiling of the full-map directory organisation (and of features
+/// that use per-node 64-bit masks, e.g. the Dubois false-sharing
+/// classifier).
+inline constexpr int kFullMapNodes = 64;
 
 /// Kind of data access issued by a processor.
 enum class AccessType : std::uint8_t { kRead, kWrite };

@@ -98,6 +98,17 @@ void print_behavior_figure(std::ostream& os, const std::string& name,
   const RunResult& base = results.front();
 
   os << "== Behavior of " << name << " ==\n";
+  // Annotate non-default directory organisations; a full-map-only figure
+  // prints exactly what it always did.
+  bool nondefault_dir = false;
+  for (const auto& r : results) {
+    nondefault_dir = nondefault_dir || r.directory != DirectoryKind::kFullMap;
+  }
+  if (nondefault_dir) {
+    os << "-- directory:";
+    for (const auto& r : results) os << ' ' << directory_name(r.directory);
+    os << " --\n";
+  }
   os << "-- Normalized execution time (Baseline total = 100) --\n";
   os << "            ";
   for (const auto& r : results) os << "  " << to_string(r.protocol) << "\t";

@@ -97,6 +97,9 @@ struct Stats {
   /// Writes satisfied locally because the line was held exclusive-unwritten
   /// (LStemp): ownership acquisitions the technique eliminated.
   std::uint64_t eliminated_acquisitions = 0;
+  /// Sparse-organisation directory-entry evictions (each one forces the
+  /// victim block's cached copies to be invalidated / written back).
+  std::uint64_t dir_entry_evictions = 0;
 
   // --- protocol events --------------------------------------------------
   std::uint64_t blocks_tagged = 0;

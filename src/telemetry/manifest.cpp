@@ -83,7 +83,23 @@ Json machine_to_json(const MachineConfig& machine) {
   o.emplace_back("l2", cache_config_to_json(machine.l2));
   o.emplace_back("topology", Json(to_string(machine.topology)));
   o.emplace_back("consistency", Json(to_string(machine.consistency)));
-  o.emplace_back("directory", Json(to_string(machine.directory_scheme)));
+  // Schema version 3: "directory" is the registry name of the directory
+  // organisation, followed by the knob relevant to it (absent knobs mean
+  // "default / not applicable").
+  o.emplace_back("directory", Json(directory_name(machine.directory_scheme)));
+  switch (machine.directory_scheme) {
+    case DirectoryKind::kFullMap:
+      break;
+    case DirectoryKind::kLimitedPtr:
+      o.emplace_back("directory_pointers", Json(machine.directory_pointers));
+      break;
+    case DirectoryKind::kCoarseVector:
+      o.emplace_back("directory_region", Json(machine.directory_region));
+      break;
+    case DirectoryKind::kSparse:
+      o.emplace_back("directory_entries", Json(machine.directory_entries));
+      break;
+  }
   o.emplace_back("classify_false_sharing",
                  Json(machine.classify_false_sharing));
   return Json(std::move(o));
@@ -125,6 +141,22 @@ bool machine_from_json(const Json& json, MachineConfig* out,
       return fail("unknown consistency model");
     }
   }
+  // Absent before schema version 3 (version-2 documents carried the
+  // field but it was never parsed; the same names resolve either way).
+  if (const Json* dir = json.find("directory"); dir != nullptr) {
+    if (!dir->is_string() ||
+        !directory_from_name(dir->as_string(), &out->directory_scheme)) {
+      return fail("unknown directory organisation in machine config");
+    }
+  }
+  if (!read_uint_as(json, "directory_pointers", &out->directory_pointers,
+                    error) ||
+      !read_uint_as(json, "directory_region", &out->directory_region,
+                    error) ||
+      !read_uint_as(json, "directory_entries", &out->directory_entries,
+                    error)) {
+    return false;
+  }
   if (const Json* fs = json.find("classify_false_sharing");
       fs != nullptr && fs->is_bool()) {
     out->classify_false_sharing = fs->as_bool();
@@ -137,6 +169,7 @@ bool machine_from_json(const Json& json, MachineConfig* out,
 Json run_result_to_json(const RunResult& result) {
   Json::Object o;
   o.emplace_back("protocol", Json(to_string(result.protocol)));
+  o.emplace_back("directory", Json(to_string(result.directory)));
   o.emplace_back("exec_cycles", Json(result.exec_time));
   Json::Object time;
   time.emplace_back("busy", Json(result.time.busy));
@@ -171,6 +204,7 @@ Json run_result_to_json(const RunResult& result) {
   o.emplace_back("l2_hits", Json(result.l2_hits));
   o.emplace_back("blocks_tagged", Json(result.blocks_tagged));
   o.emplace_back("blocks_detagged", Json(result.blocks_detagged));
+  o.emplace_back("dir_entry_evictions", Json(result.dir_entry_evictions));
   // Derived ratios for human/plotting convenience; ignored on parse.
   Json::Object derived;
   derived.emplace_back("invalidations_per_write",
@@ -194,6 +228,12 @@ bool run_result_from_json(const Json& json, RunResult* out,
       proto != nullptr && proto->is_string()) {
     if (!protocol_from_name(proto->as_string(), &out->protocol)) {
       return fail("unknown protocol name");
+    }
+  }
+  if (const Json* dir = json.find("directory");
+      dir != nullptr && dir->is_string()) {
+    if (!directory_from_name(dir->as_string(), &out->directory)) {
+      return fail("unknown directory organisation name");
     }
   }
   if (!read_u64(json, "exec_cycles", &out->exec_time, error)) return false;
@@ -248,7 +288,9 @@ bool run_result_from_json(const Json& json, RunResult* out,
          read_u64(json, "l1_hits", &out->l1_hits, error) &&
          read_u64(json, "l2_hits", &out->l2_hits, error) &&
          read_u64(json, "blocks_tagged", &out->blocks_tagged, error) &&
-         read_u64(json, "blocks_detagged", &out->blocks_detagged, error);
+         read_u64(json, "blocks_detagged", &out->blocks_detagged, error) &&
+         read_u64(json, "dir_entry_evictions", &out->dir_entry_evictions,
+                  error);
 }
 
 Json manifest_to_json(const RunManifest& manifest) {

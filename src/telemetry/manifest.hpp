@@ -20,6 +20,13 @@
 //       carry an `ownership_latency` digest when the run's metrics
 //       include the ownership.latency histograms
 //       (telemetry/latency_report.hpp).
+//   3 — machine object's `directory` field changes meaning: it is now the
+//       registry name of the directory organisation (full-map,
+//       limited-ptr, coarse, sparse) and is parsed on load, with the
+//       organisation's knob alongside it (`directory_pointers`,
+//       `directory_region` or `directory_entries`). Run objects record
+//       the organisation they executed under (`directory`) and
+//       `dir_entry_evictions`. Version-2 documents still parse.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +43,7 @@
 
 namespace lssim {
 
-inline constexpr std::uint32_t kManifestSchemaVersion = 2;
+inline constexpr std::uint32_t kManifestSchemaVersion = 3;
 
 struct RunManifest {
   struct ProtocolRun {

@@ -8,6 +8,7 @@ RunResult collect(System& sys) {
   const Stats& stats = sys.stats();
   RunResult result;
   result.protocol = sys.config().protocol.kind;
+  result.directory = sys.config().directory_scheme;
   result.exec_time = sys.exec_time();
   result.time = stats.time_total();
   for (int c = 0; c < kNumMsgClasses; ++c) {
@@ -30,6 +31,7 @@ RunResult collect(System& sys) {
   result.l2_hits = stats.l2_hits;
   result.blocks_tagged = stats.blocks_tagged;
   result.blocks_detagged = stats.blocks_detagged;
+  result.dir_entry_evictions = stats.dir_entry_evictions;
   LoadStoreOracle& oracle = sys.memory().oracle();
   result.oracle_total = oracle.total();
   for (int t = 0; t < kNumStreamTags; ++t) {

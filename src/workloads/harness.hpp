@@ -18,6 +18,7 @@ namespace lssim {
 /// Everything a figure/table needs from one simulation run.
 struct RunResult {
   ProtocolKind protocol = ProtocolKind::kBaseline;
+  DirectoryKind directory = DirectoryKind::kFullMap;
   Cycles exec_time = 0;       ///< Wall clock: latest processor time.
   TimeBreakdown time;         ///< Summed over processors.
   std::array<std::uint64_t, kNumMsgClasses> traffic{};
@@ -37,6 +38,7 @@ struct RunResult {
   std::uint64_t l2_hits = 0;
   std::uint64_t blocks_tagged = 0;
   std::uint64_t blocks_detagged = 0;
+  std::uint64_t dir_entry_evictions = 0;
   LsOracleCounters oracle_total;
   std::array<LsOracleCounters, kNumStreamTags> oracle_by_tag{};
 

@@ -1,5 +1,6 @@
 #include "workloads/oltp.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -355,10 +356,13 @@ void build_oltp(System& sys, const OltpParams& params) {
   ctx->alloc_freelist = heap.alloc(8, 8);
   ctx->runqueue_lock = std::make_unique<TicketLock>(heap);
   ctx->ready_count = heap.alloc(8, 256);
+  // Sized for the running processor count but never below the historical
+  // kMaxNodes of 64: heap layout (and hence every figure derived from
+  // this workload) must not shift just because the node-id ceiling grew.
+  const std::uint64_t cpu_slots =
+      std::max<std::uint64_t>(64, static_cast<std::uint64_t>(sys.num_procs()));
   ctx->cpu_usage = SharedArray<std::uint64_t>(
-      heap,
-      static_cast<std::uint64_t>(kMaxNodes) * OltpContext::kCpuStrideWords,
-      256);
+      heap, cpu_slots * OltpContext::kCpuStrideWords, 256);
   ctx->barrier = std::make_unique<Barrier>(heap, sys.num_procs());
 
   for (int n = 0; n < sys.num_procs(); ++n) {

@@ -47,7 +47,7 @@ TEST(Explorer, KnobVariationsPass) {
       case 1: options.machine.protocol.tag_hysteresis = 2; break;
       case 2: options.machine.protocol.keep_tag_on_lone_write = true; break;
       case 3:
-        options.machine.directory_scheme = DirectoryScheme::kLimitedPtr;
+        options.machine.directory_scheme = DirectoryKind::kLimitedPtr;
         options.machine.directory_pointers = 1;
         break;
     }

@@ -62,8 +62,10 @@ TEST(ReproFormat, SaveLoadRoundTripsExactly) {
   trace.machine.protocol.default_tagged = true;
   trace.machine.protocol.tag_hysteresis = 2;
   trace.machine.protocol.keep_tag_on_lone_write = true;
-  trace.machine.directory_scheme = DirectoryScheme::kLimitedPtr;
+  trace.machine.directory_scheme = DirectoryKind::kLimitedPtr;
   trace.machine.directory_pointers = 2;
+  trace.machine.directory_region = 3;
+  trace.machine.directory_entries = 7;
   trace.accesses = {
       {0, MemOpKind::kRead, 0x0, 8, 0, 0},
       {3, MemOpKind::kWrite, 0x40, 8, 0xdeadbeef, 0},
@@ -81,8 +83,10 @@ TEST(ReproFormat, SaveLoadRoundTripsExactly) {
   EXPECT_EQ(loaded.machine.protocol.default_tagged, true);
   EXPECT_EQ(loaded.machine.protocol.tag_hysteresis, 2);
   EXPECT_EQ(loaded.machine.protocol.keep_tag_on_lone_write, true);
-  EXPECT_EQ(loaded.machine.directory_scheme, DirectoryScheme::kLimitedPtr);
+  EXPECT_EQ(loaded.machine.directory_scheme, DirectoryKind::kLimitedPtr);
   EXPECT_EQ(loaded.machine.directory_pointers, 2);
+  EXPECT_EQ(loaded.machine.directory_region, 3);
+  EXPECT_EQ(loaded.machine.directory_entries, 7u);
   EXPECT_EQ(loaded.accesses, trace.accesses);
 }
 

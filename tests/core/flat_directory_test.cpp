@@ -61,7 +61,9 @@ TEST(FlatDirectory, IterationParityWithReferenceMap) {
     lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
     // Small block pool so re-access (the MRU path) is common.
     const Addr block = ((lcg >> 33) % 3000) * 32;
-    const auto tag_progress = static_cast<std::uint8_t>(op % 251);
+    // tag_progress is a 3-bit field (hysteresis caps at 7); cycle with a
+    // period coprime to the pool size so neighbours differ.
+    const auto tag_progress = static_cast<std::uint8_t>(op % 7);
     dir.entry(block).tag_progress = tag_progress;
     ref[block] = tag_progress;
   }

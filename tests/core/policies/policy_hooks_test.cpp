@@ -133,10 +133,10 @@ TEST(AdPolicyTest, RequiresExactlyTheLastWriterAsOtherCopy) {
             TagAction::kNone);
 }
 
-TEST(AdPolicyTest, PointerOverflowBlindsTheDetector) {
+TEST(AdPolicyTest, ImpreciseSharersBlindTheDetector) {
   AdPolicy p{ProtocolConfig{}};
   DirEntry e = shared_entry(0b0110, 2, 1);
-  e.ptr_overflow = true;
+  e.imprecise = true;
   EXPECT_EQ(p.on_global_write(e, 2, true).action, TagAction::kNone);
 }
 
@@ -239,10 +239,10 @@ TEST(LsAdHybridPolicyTest, AdFallbackFiresAtUpgradesOnly) {
   EXPECT_TRUE(miss.lone_write_detag);
 }
 
-TEST(LsAdHybridPolicyTest, PointerOverflowDisablesTheFallback) {
+TEST(LsAdHybridPolicyTest, ImpreciseSharersDisableTheFallback) {
   LsAdHybridPolicy p{ProtocolConfig{}};
   DirEntry e = shared_entry(0b0110, 3, 1);
-  e.ptr_overflow = true;
+  e.imprecise = true;
   EXPECT_EQ(p.on_global_write(e, 2, true).action, TagAction::kNone);
 }
 

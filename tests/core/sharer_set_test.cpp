@@ -1,0 +1,103 @@
+// SharerSet: the decoded, organisation-independent sharer answer.
+#include "core/sharer_set.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lssim {
+namespace {
+
+TEST(SharerSet, StartsEmpty) {
+  const SharerSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  for (int n = 0; n < kMaxNodes; ++n) {
+    EXPECT_FALSE(s.test(static_cast<NodeId>(n)));
+  }
+}
+
+TEST(SharerSet, SetResetTestAcrossAllWords) {
+  SharerSet s;
+  // One node in each of the four 64-bit words, including both ends.
+  const NodeId picks[] = {0, 63, 64, 127, 128, 200, 255};
+  for (NodeId n : picks) s.set(n);
+  EXPECT_EQ(s.count(), 7);
+  for (NodeId n : picks) EXPECT_TRUE(s.test(n)) << int(n);
+  EXPECT_FALSE(s.test(1));
+  EXPECT_FALSE(s.test(129));
+  s.reset(127);
+  s.reset(0);
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_FALSE(s.test(127));
+  EXPECT_TRUE(s.test(128));
+}
+
+TEST(SharerSet, FirstNCoversExactlyTheMachine) {
+  for (int count : {0, 1, 63, 64, 65, 128, 200, 256}) {
+    const SharerSet s = SharerSet::first_n(count);
+    EXPECT_EQ(s.count(), count);
+    for (int n = 0; n < kMaxNodes; ++n) {
+      EXPECT_EQ(s.test(static_cast<NodeId>(n)), n < count)
+          << "count " << count << " node " << n;
+    }
+  }
+}
+
+TEST(SharerSet, FromBitmapMatchesFullMapEncoding) {
+  const std::uint64_t bits = (1ull << 0) | (1ull << 5) | (1ull << 63);
+  const SharerSet s = SharerSet::from_bitmap(bits);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(5));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_FALSE(s.test(64));
+}
+
+TEST(SharerSet, ForEachVisitsAscending) {
+  SharerSet s;
+  s.set(200);
+  s.set(3);
+  s.set(64);
+  s.set(63);
+  std::vector<int> seen;
+  s.for_each([&](NodeId n) { seen.push_back(n); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 63, 64, 200}));
+}
+
+TEST(SharerSet, ContainsIsSupersetTest) {
+  SharerSet super = SharerSet::first_n(100);
+  SharerSet sub;
+  sub.set(2);
+  sub.set(99);
+  EXPECT_TRUE(super.contains(sub));
+  EXPECT_FALSE(sub.contains(super));
+  sub.set(100);
+  EXPECT_FALSE(super.contains(sub));
+  // Every set contains the empty set and itself.
+  EXPECT_TRUE(sub.contains(SharerSet{}));
+  EXPECT_TRUE(sub.contains(sub));
+}
+
+TEST(SharerSet, SetOperationsAndEquality) {
+  SharerSet a;
+  a.set(1);
+  a.set(70);
+  SharerSet b;
+  b.set(70);
+  b.set(140);
+  SharerSet u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3);
+  SharerSet i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1);
+  EXPECT_TRUE(i.test(70));
+  SharerSet c;
+  c.set(70);
+  EXPECT_EQ(i, c);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -85,6 +85,69 @@ TEST(DriverOptions, UnknownProtocolListsRegisteredNames) {
   }
 }
 
+TEST(DriverOptions, DirectoryFlagResolvesAliases) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--directory", "dir-ib", "--dir-pointers", "3"},
+                    &options, &error))
+      << error;
+  EXPECT_EQ(options.machine.directory_scheme, DirectoryKind::kLimitedPtr);
+  EXPECT_EQ(options.machine.directory_pointers, 3);
+  ASSERT_EQ(options.directories.size(), 1u);
+  EXPECT_EQ(options.directories[0], DirectoryKind::kLimitedPtr);
+}
+
+TEST(DriverOptions, UnknownDirectoryListsRegisteredNames) {
+  DriverOptions options;
+  std::string error;
+  EXPECT_FALSE(parse({"--directory", "mesif"}, &options, &error));
+  EXPECT_NE(error.find("mesif"), std::string::npos) << error;
+  for (const char* name : {"full-map", "limited-ptr", "coarse", "sparse"}) {
+    EXPECT_NE(error.find(name), std::string::npos) << error;
+  }
+}
+
+TEST(DriverOptions, DirectoriesListResolvesAliasesAndDedupes) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--directories", "fullmap,dir-ib,limited-ptr,sparse"},
+                    &options, &error))
+      << error;
+  const std::vector<DirectoryKind> expected{DirectoryKind::kFullMap,
+                                            DirectoryKind::kLimitedPtr,
+                                            DirectoryKind::kSparse};
+  EXPECT_EQ(options.directories, expected);
+  // The machine config carries the first entry so a single-organisation
+  // sweep behaves exactly like --directory.
+  EXPECT_EQ(options.machine.directory_scheme, DirectoryKind::kFullMap);
+  EXPECT_FALSE(parse({"--directories", "full-map,bogus"}, &options, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
+TEST(DriverOptions, DirectoryKnobsValidateTheirRanges) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--dir-pointers", "7", "--dir-region", "4",
+                     "--dir-entries", "512"},
+                    &options, &error))
+      << error;
+  EXPECT_EQ(options.machine.directory_pointers, 7);
+  EXPECT_EQ(options.machine.directory_region, 4);
+  EXPECT_EQ(options.machine.directory_entries, 512u);
+  EXPECT_FALSE(parse({"--dir-pointers", "0"}, &options, &error));
+  EXPECT_FALSE(parse({"--dir-pointers", "9"}, &options, &error));
+}
+
+TEST(DriverOptions, ProcsAcceptsUpToMaxNodes) {
+  DriverOptions options;
+  std::string error;
+  ASSERT_TRUE(parse({"--procs", "256", "--directory", "coarse-vector"},
+                    &options, &error))
+      << error;
+  EXPECT_EQ(options.machine.num_nodes, 256);
+  EXPECT_FALSE(parse({"--procs", "257"}, &options, &error));
+}
+
 TEST(DriverOptions, RejectsUnknownArgument) {
   DriverOptions options;
   std::string error;
@@ -183,6 +246,39 @@ TEST(DriverRunner, WorkloadParametersReachTheWorkload) {
   EXPECT_GT(big.accesses, small.accesses * 5);
 }
 
+TEST(DriverRunner, MatrixRunsProtocolMajorAcrossDirectories) {
+  DriverOptions options;
+  options.workload = "pingpong";
+  options.params["rounds"] = "30";
+  options.machine.l1 = CacheConfig{1024, 1, 16};
+  options.machine.l2 = CacheConfig{4096, 1, 16};
+  options.protocols = {ProtocolKind::kBaseline, ProtocolKind::kLs};
+  options.directories = {DirectoryKind::kFullMap,
+                         DirectoryKind::kLimitedPtr};
+  options.machine.directory_pointers = 1;  // Overflow with 2 sharers.
+  const std::vector<DriverRun> runs =
+      run_driver_workloads_captured(options);
+  ASSERT_EQ(runs.size(), 4u);
+  const struct {
+    ProtocolKind protocol;
+    DirectoryKind directory;
+  } expected[] = {
+      {ProtocolKind::kBaseline, DirectoryKind::kFullMap},
+      {ProtocolKind::kBaseline, DirectoryKind::kLimitedPtr},
+      {ProtocolKind::kLs, DirectoryKind::kFullMap},
+      {ProtocolKind::kLs, DirectoryKind::kLimitedPtr},
+  };
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].result.protocol, expected[i].protocol) << i;
+    EXPECT_EQ(runs[i].result.directory, expected[i].directory) << i;
+    EXPECT_GT(runs[i].result.accesses, 0u) << i;
+  }
+  // One-pointer Dir_iB broadcasts on overflow, so within a protocol row
+  // the limited-pointer run can only send more invalidations.
+  EXPECT_GE(runs[1].result.invalidations, runs[0].result.invalidations);
+  EXPECT_GE(runs[3].result.invalidations, runs[2].result.invalidations);
+}
+
 TEST(DriverOutput, CsvFormat) {
   DriverOptions options;
   options.format = OutputFormat::kCsv;
@@ -192,8 +288,8 @@ TEST(DriverOutput, CsvFormat) {
   std::ostringstream os;
   print_driver_results(os, options, {r});
   const std::string out = os.str();
-  EXPECT_NE(out.find("protocol,exec_cycles"), std::string::npos);
-  EXPECT_NE(out.find("LS,123"), std::string::npos);
+  EXPECT_NE(out.find("protocol,directory,exec_cycles"), std::string::npos);
+  EXPECT_NE(out.find("LS,full-map,123"), std::string::npos);
 }
 
 TEST(DriverOutput, JsonFormat) {

@@ -76,7 +76,7 @@ TEST(ManifestTest, RejectsNewerSchemaVersion) {
   std::ostringstream os;
   write_manifest(os, make_manifest());
   std::string text = os.str();
-  const std::string needle = "\"schema_version\": 2";
+  const std::string needle = "\"schema_version\": 3";
   const std::size_t at = text.find(needle);
   ASSERT_NE(at, std::string::npos);
   text.replace(at, needle.size(), "\"schema_version\": 999");

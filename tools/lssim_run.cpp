@@ -52,9 +52,12 @@ int main(int argc, char** argv) {
         }
         hb_os = &heartbeat_file;
       }
+      const std::size_t total_runs =
+          options.protocols.size() *
+          (options.directories.empty() ? 1 : options.directories.size());
       heartbeat = std::make_unique<HeartbeatEmitter>(
           hb_os, options.heartbeat_interval,
-          static_cast<std::uint64_t>(options.protocols.size()), "run");
+          static_cast<std::uint64_t>(total_runs), "run");
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -104,8 +107,15 @@ int main(int argc, char** argv) {
     for (const DriverRun& run : runs) {
       violations += run.invariant_violations;
       for (const std::string& message : run.invariant_messages) {
-        std::fprintf(stderr, "lssim_run: [%s] %s\n",
-                     to_string(run.result.protocol), message.c_str());
+        if (options.directories.size() > 1) {
+          std::fprintf(stderr, "lssim_run: [%s@%s] %s\n",
+                       to_string(run.result.protocol),
+                       directory_name(run.result.directory),
+                       message.c_str());
+        } else {
+          std::fprintf(stderr, "lssim_run: [%s] %s\n",
+                       to_string(run.result.protocol), message.c_str());
+        }
       }
     }
     if (violations > 0) {
