@@ -1,0 +1,148 @@
+// replay_compare — times the capture-once / replay-many engine against
+// execution-driven protocol sweeps (docs/PERFORMANCE.md).
+//
+// For each workload it runs the full registered-protocol sweep twice:
+// once execution-driven (the figure binaries' default path) and once by
+// capturing the access stream a single time and replaying it per
+// protocol, serial and at --jobs. The same-protocol replay must be
+// bit-identical to its live execution — any disagreement is printed
+// field by field and the bench exits 1.
+//
+//   replay_compare [--quick] [--jobs N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace lssim;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Spec {
+  const char* name;
+  MachineConfig cfg;
+  WorkloadBuilder build;
+};
+
+std::vector<Spec> build_specs(bool quick) {
+  std::vector<Spec> specs;
+
+  Mp3dParams mp3d;
+  if (quick) {
+    mp3d.particles = 2000;
+    mp3d.steps = 3;
+  }
+  specs.push_back({"mp3d", MachineConfig::scientific_default(),
+                   [mp3d](System& sys) { build_mp3d(sys, mp3d); }});
+
+  LuParams lu;
+  if (quick) {
+    lu.n = 96;
+  }
+  specs.push_back({"lu", MachineConfig::scientific_default(),
+                   [lu](System& sys) { build_lu(sys, lu); }});
+
+  OltpParams oltp;
+  if (quick) {
+    oltp.txns_per_proc = 300;
+  }
+  specs.push_back({"oltp", bench::oltp_bench_config(),
+                   [oltp](System& sys) { build_oltp(sys, oltp); }});
+
+  return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lssim;
+
+  const int jobs = bench::parse_jobs(argc, argv);
+  const bool quick = bench::parse_flag(argc, argv, "--quick");
+  const std::vector<ProtocolKind> kinds = all_protocol_kinds();
+
+  std::printf("capture-once / replay-many vs execution-driven "
+              "(%zu protocols%s)\n\n",
+              kinds.size(), quick ? ", quick sizes" : "");
+  std::printf("%-8s %10s %10s %10s %10s %9s %9s\n", "workload", "execute",
+              "capture", "replay", "replay-j", "speedup", "w/capture");
+
+  bool all_agree = true;
+  for (const Spec& spec : build_specs(quick)) {
+    const auto exec_start = Clock::now();
+    std::vector<RunResult> executed;
+    executed.reserve(kinds.size());
+    for (ProtocolKind kind : kinds) {
+      MachineConfig cfg = spec.cfg;
+      cfg.protocol.kind = kind;
+      executed.push_back(run_experiment(cfg, spec.build, /*seed=*/1));
+    }
+    const double execute_s = seconds_since(exec_start);
+
+    const auto capture_start = Clock::now();
+    const CapturedTrace captured =
+        capture_trace(spec.cfg, spec.build, /*seed=*/1, spec.name);
+    const double capture_s = seconds_since(capture_start);
+
+    const ReplayCompareEngine engine(captured.trace, spec.cfg);
+    const auto replay_start = Clock::now();
+    std::vector<RunResult> replayed;
+    replayed.reserve(kinds.size());
+    for (ProtocolKind kind : kinds) {
+      replayed.push_back(engine.replay(kind));
+    }
+    const double replay_s = seconds_since(replay_start);
+
+    const auto fanout_start = Clock::now();
+    const std::vector<RunResult> fanned =
+        engine.replay_matrix(kinds, {}, jobs);
+    const double fanout_s = seconds_since(fanout_start);
+
+    // Gate 1: the capture protocol's replay is bit-identical to its
+    // live execution.
+    const auto base_it =
+        std::find(kinds.begin(), kinds.end(), spec.cfg.protocol.kind);
+    const std::size_t base_idx =
+        static_cast<std::size_t>(base_it - kinds.begin());
+    for (const std::string& diff :
+         compare_replay(captured.executed, replayed[base_idx])) {
+      std::fprintf(stderr, "replay_compare: %s (%s): %s\n", spec.name,
+                   to_string(spec.cfg.protocol.kind), diff.c_str());
+      all_agree = false;
+    }
+    // Gate 2: the parallel fan-out matches the serial replay per cell.
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      for (const std::string& diff :
+           compare_replay(replayed[i], fanned[i])) {
+        std::fprintf(stderr,
+                     "replay_compare: %s (%s): serial/parallel replay "
+                     "mismatch: %s\n",
+                     spec.name, to_string(kinds[i]), diff.c_str());
+        all_agree = false;
+      }
+    }
+
+    std::printf("%-8s %9.2fs %9.2fs %9.2fs %9.2fs %8.2fx %8.2fx\n",
+                spec.name, execute_s, capture_s, replay_s, fanout_s,
+                replay_s > 0 ? execute_s / replay_s : 0.0,
+                capture_s + replay_s > 0
+                    ? execute_s / (capture_s + replay_s)
+                    : 0.0);
+  }
+
+  if (!all_agree) {
+    std::fprintf(stderr,
+                 "replay_compare: replay disagreed with execution\n");
+    return 1;
+  }
+  std::printf("\nsame-protocol replays bit-identical to execution; "
+              "parallel fan-out identical to serial\n");
+  return 0;
+}

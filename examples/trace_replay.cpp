@@ -1,12 +1,11 @@
-// Example: record a workload's access trace once, then replay it against
-// several protocol/cache configurations without re-running the workload.
+// Example: capture a workload's access stream once, then drive a whole
+// protocol comparison from it without re-running the workload.
 //
 // Replay preserves per-processor program order and inter-access compute
-// gaps but (by construction) cannot model timing feedback — see
-// src/trace/trace.hpp for the caveats. It is the cheap way to sweep
-// protocol variants over one fixed access stream.
+// gaps but (by construction) cannot model timing feedback — a recorded
+// spin loop replays its recorded spin count. See docs/PERFORMANCE.md
+// "Capture once, replay many" for when replay is exact.
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "lssim.hpp"
@@ -14,54 +13,60 @@
 int main() {
   using namespace lssim;
 
-  MachineConfig record_cfg = MachineConfig::scientific_default();
+  const MachineConfig cfg = MachineConfig::scientific_default();
 
-  // 1. Record the baseline execution of a small MP3D run.
-  Trace trace;
-  {
-    System sys(record_cfg);
-    TraceRecorder recorder(sys, trace);
-    Mp3dParams params;
-    params.particles = 2000;
-    params.steps = 4;
-    build_mp3d(sys, params);
-    sys.run();
-    std::printf("recorded %zu accesses from MP3D (baseline run)\n",
-                trace.size());
-  }
+  // 1. Execute a small MP3D run exactly once, recording the stream.
+  //    capture_trace also returns the live run's collected result — the
+  //    ground truth the same-protocol replay must match bit for bit.
+  Mp3dParams params;
+  params.particles = 2000;
+  params.steps = 4;
+  const CapturedTrace captured = capture_trace(
+      cfg, [&params](System& sys) { build_mp3d(sys, params); },
+      /*seed=*/1, "mp3d");
+  std::printf("recorded %zu accesses from MP3D (%s run)\n",
+              captured.trace.size(), to_string(cfg.protocol.kind));
 
-  // 2. Round-trip through the serialized format.
+  // 2. Round-trip through the serialized format. The file header
+  //    carries a hash of the capture machine's protocol-insensitive
+  //    configuration, so a stale trace cannot silently replay against
+  //    the wrong machine.
   std::stringstream file;
-  trace.save(file);
+  captured.trace.save(file);
   const Trace loaded = Trace::load(file);
-  std::printf("serialized trace: %zu bytes\n",
-              static_cast<std::size_t>(file.str().size()));
+  std::printf("serialized trace: %zu bytes, config hash %s\n",
+              static_cast<std::size_t>(file.str().size()),
+              format_config_hash(loaded.meta().config_hash).c_str());
 
-  // 3. Replay under each protocol.
-  std::printf("\n%-10s %14s %14s %14s\n", "protocol", "total cycles",
+  // 3. Replay under every registered protocol from the one capture.
+  const ReplayCompareEngine engine(loaded, cfg);
+  std::printf("\n%-10s %14s %14s %14s\n", "protocol", "exec cycles",
               "messages", "eliminated");
-  for (ProtocolKind kind :
-       {ProtocolKind::kBaseline, ProtocolKind::kAd, ProtocolKind::kLs}) {
-    MachineConfig cfg = record_cfg;
-    cfg.protocol.kind = kind;
-    Stats stats(cfg.num_nodes);
-    const ReplayResult result = replay_trace(loaded, cfg, stats);
+  for (ProtocolKind kind : all_protocol_kinds()) {
+    const RunResult r = engine.replay(kind);
     std::printf("%-10s %14llu %14llu %14llu\n", to_string(kind),
-                static_cast<unsigned long long>(result.total_cycles),
-                static_cast<unsigned long long>(stats.messages_total()),
+                static_cast<unsigned long long>(r.exec_time),
+                static_cast<unsigned long long>(r.traffic_total),
                 static_cast<unsigned long long>(
-                    stats.eliminated_acquisitions));
+                    r.eliminated_acquisitions));
   }
 
-  // 4. Replay against a different cache geometry.
-  MachineConfig small = record_cfg;
+  // 4. The same-protocol replay reproduces the live execution exactly.
+  const std::vector<std::string> diffs = compare_replay(
+      captured.executed, engine.replay(cfg.protocol.kind));
+  std::printf("\nsame-protocol replay vs execution: %s\n",
+              diffs.empty() ? "bit-identical" : diffs.front().c_str());
+
+  // 5. A machine with a different cache geometry refuses the trace.
+  MachineConfig small = cfg;
   small.l2.size_bytes = 16 * 1024;
-  small.protocol.kind = ProtocolKind::kLs;
-  Stats stats(small.num_nodes);
-  const ReplayResult result = replay_trace(loaded, small, stats);
-  std::printf("\nLS with a 16 kB L2 on the same trace: %llu cycles, "
-              "%llu messages\n",
-              static_cast<unsigned long long>(result.total_cycles),
-              static_cast<unsigned long long>(stats.messages_total()));
+  try {
+    const ReplayCompareEngine rejected(loaded, small);
+    std::printf("unexpected: mismatched machine accepted the trace\n");
+    return 1;
+  } catch (const TraceConfigMismatch& ex) {
+    std::printf("16 kB-L2 machine rejected the trace, as it must:\n  %s\n",
+                ex.what());
+  }
   return 0;
 }

@@ -5,57 +5,17 @@
 namespace lssim {
 
 Cache::Cache(const CacheConfig& config)
-    : config_(config), num_sets_(config.num_sets()) {
+    : config_(config),
+      num_sets_(config.num_sets()),
+      set_mask_(num_sets_ - 1),
+      block_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(config.block_bytes))),
+      block_mask_(~static_cast<Addr>(config.block_bytes - 1)),
+      lru_live_(config.assoc > 1) {
   assert(num_sets_ > 0);
+  assert(std::has_single_bit(config.block_bytes));
+  assert(std::has_single_bit(static_cast<std::uint64_t>(num_sets_)));
   lines_.resize(num_sets_ * config_.assoc);
-}
-
-CacheLine* Cache::find(Addr block) noexcept {
-  const std::size_t base = set_index(block) * config_.assoc;
-  for (std::uint32_t way = 0; way < config_.assoc; ++way) {
-    CacheLine& line = lines_[base + way];
-    if (line.valid() && line.block == block) {
-      return &line;
-    }
-  }
-  return nullptr;
-}
-
-const CacheLine* Cache::find(Addr block) const noexcept {
-  return const_cast<Cache*>(this)->find(block);
-}
-
-CacheLine Cache::insert(Addr block, CacheState state) {
-  assert(state != CacheState::kInvalid);
-  assert(find(block) == nullptr && "block already present");
-  const std::size_t base = set_index(block) * config_.assoc;
-  CacheLine* victim = &lines_[base];
-  for (std::uint32_t way = 0; way < config_.assoc; ++way) {
-    CacheLine& line = lines_[base + way];
-    if (!line.valid()) {
-      victim = &line;
-      break;
-    }
-    if (line.last_use < victim->last_use) {
-      victim = &line;
-    }
-  }
-  const CacheLine evicted = *victim;
-  *victim = CacheLine{};
-  victim->block = block;
-  victim->state = state;
-  victim->last_use = ++use_clock_;
-  return evicted;
-}
-
-CacheLine Cache::invalidate(Addr block) noexcept {
-  CacheLine* line = find(block);
-  if (line == nullptr) {
-    return CacheLine{};
-  }
-  const CacheLine removed = *line;
-  *line = CacheLine{};
-  return removed;
 }
 
 std::size_t Cache::valid_lines() const noexcept {

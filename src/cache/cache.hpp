@@ -6,6 +6,8 @@
 // single value copy is exact).
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -54,27 +56,81 @@ class Cache {
  public:
   explicit Cache(const CacheConfig& config);
 
-  /// Returns the line holding `block`, or nullptr on miss.
-  [[nodiscard]] CacheLine* find(Addr block) noexcept;
-  [[nodiscard]] const CacheLine* find(Addr block) const noexcept;
+  /// Returns the line holding `block`, or nullptr on miss. Inline: this
+  /// is the single hottest operation in the simulator (every simulated
+  /// access probes at least one level).
+  [[nodiscard]] CacheLine* find(Addr block) noexcept {
+    const std::size_t base = set_index(block) * config_.assoc;
+    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+      CacheLine& line = lines_[base + way];
+      if (line.valid() && line.block == block) {
+        return &line;
+      }
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const CacheLine* find(Addr block) const noexcept {
+    return const_cast<Cache*>(this)->find(block);
+  }
 
   /// Inserts `block` with the given state, evicting the set's LRU line if
   /// needed. Returns a copy of the victim (state kInvalid when the set had
   /// a free way). `block` must not already be present.
-  CacheLine insert(Addr block, CacheState state);
+  CacheLine insert(Addr block, CacheState state) {
+    assert(state != CacheState::kInvalid);
+    assert(find(block) == nullptr && "block already present");
+    CacheLine* victim = victim_way(block);
+    const CacheLine evicted = *victim;
+    fill_way(victim, block, state);
+    return evicted;
+  }
+
+  /// insert() for callers that discard the victim (L1 under inclusion:
+  /// the L2 still holds any replaced block). Same replacement decision
+  /// and LRU accounting; returns the newly filled line.
+  CacheLine* insert_silent(Addr block, CacheState state) noexcept {
+    assert(state != CacheState::kInvalid);
+    assert(find(block) == nullptr && "block already present");
+    CacheLine* victim = victim_way(block);
+    fill_way(victim, block, state);
+    return victim;
+  }
 
   /// Removes `block` if present; returns a copy of the removed line
   /// (state kInvalid if it was not present).
-  CacheLine invalidate(Addr block) noexcept;
+  CacheLine invalidate(Addr block) noexcept {
+    CacheLine* line = find(block);
+    if (line == nullptr) {
+      return CacheLine{};
+    }
+    const CacheLine removed = *line;
+    *line = CacheLine{};
+    return removed;
+  }
 
-  /// Marks a hit for LRU purposes.
-  void touch(CacheLine& line) noexcept { line.last_use = ++use_clock_; }
+  /// Marks a hit for LRU purposes. Direct-mapped caches skip the stamp:
+  /// last_use is only ever read to pick a victim among multiple ways, so
+  /// with one way per set it is dead — eliding the read-modify-write of
+  /// use_clock_ changes no observable behaviour.
+  void touch(CacheLine& line) noexcept {
+    if (lru_live_) {
+      line.last_use = ++use_clock_;
+    }
+  }
+
+  /// Host-cache warming hint for trace replay: pulls `block`'s set into
+  /// the host cache ahead of the access that will probe it. No simulated
+  /// effect whatsoever — purely a memory-latency optimisation for
+  /// callers that know future accesses (the replay engine does).
+  void prefetch(Addr block) const noexcept {
+    __builtin_prefetch(&lines_[set_index(block) * config_.assoc], 1);
+  }
 
   [[nodiscard]] std::uint32_t block_bytes() const noexcept {
     return config_.block_bytes;
   }
   [[nodiscard]] Addr block_of(Addr addr) const noexcept {
-    return addr & ~static_cast<Addr>(config_.block_bytes - 1);
+    return addr & block_mask_;
   }
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
 
@@ -96,13 +152,42 @@ class Cache {
   }
 
  private:
+  // Block size and set count are validated powers of two, so indexing is
+  // shift-and-mask — no division on the per-access path.
   [[nodiscard]] std::size_t set_index(Addr block) const noexcept {
-    return static_cast<std::size_t>((block / config_.block_bytes) &
-                                    (num_sets_ - 1));
+    return static_cast<std::size_t>(block >> block_shift_) & set_mask_;
+  }
+
+  /// Replacement decision for `block`'s set: the first invalid way, else
+  /// the way with the lowest LRU stamp.
+  [[nodiscard]] CacheLine* victim_way(Addr block) noexcept {
+    const std::size_t base = set_index(block) * config_.assoc;
+    CacheLine* victim = &lines_[base];
+    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+      CacheLine& line = lines_[base + way];
+      if (!line.valid()) {
+        return &line;
+      }
+      if (line.last_use < victim->last_use) {
+        victim = &line;
+      }
+    }
+    return victim;
+  }
+
+  void fill_way(CacheLine* way, Addr block, CacheState state) noexcept {
+    *way = CacheLine{};
+    way->block = block;
+    way->state = state;
+    way->last_use = ++use_clock_;
   }
 
   CacheConfig config_;
   std::size_t num_sets_;
+  std::size_t set_mask_;
+  std::uint32_t block_shift_;
+  Addr block_mask_;
+  bool lru_live_;  ///< assoc > 1: replacement actually consults last_use.
   std::vector<CacheLine> lines_;  // num_sets_ * assoc, set-major.
   std::uint64_t use_clock_ = 0;
 };

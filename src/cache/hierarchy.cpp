@@ -38,7 +38,7 @@ CacheLine CacheHierarchy::fill(Addr block, CacheState state) {
     l1_.invalidate(l2_victim.block);  // Inclusion.
   }
   if (l1_.find(block) == nullptr) {
-    (void)l1_.insert(block, state);  // L1 victim silent: L2 retains it.
+    (void)l1_.insert_silent(block, state);  // L1 victim silent: L2 retains it.
   }
   if (metrics_ != nullptr) {
     metrics_->add(l2_fills_);
@@ -52,11 +52,16 @@ CacheLine CacheHierarchy::fill(Addr block, CacheState state) {
 void CacheHierarchy::refill_l1(Addr block) {
   const CacheLine* line2 = l2_.find(block);
   assert(line2 != nullptr && "refill_l1 requires an L2 hit");
-  assert(l1_.find(block) == nullptr);
-  (void)l1_.insert(block, line2->state);
+  (void)refill_l1(*line2);
+}
+
+CacheLine* CacheHierarchy::refill_l1(const CacheLine& line2) {
+  assert(l1_.find(line2.block) == nullptr);
+  CacheLine* line1 = l1_.insert_silent(line2.block, line2.state);
   if (metrics_ != nullptr) {
     metrics_->add(l1_refills_);
   }
+  return line1;
 }
 
 void CacheHierarchy::set_state(Addr block, CacheState state) noexcept {

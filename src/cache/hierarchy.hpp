@@ -22,6 +22,15 @@ struct ProbeResult {
   CacheState state = CacheState::kInvalid;
 };
 
+/// Resolved line pointers from a single hierarchy lookup. `l1` is only
+/// probed (and can only be non-null) when `l2` hit — inclusion makes an
+/// L1-only hit impossible. Pointers stay valid until the next structural
+/// change (fill / invalidate) of the owning cache.
+struct LineLookup {
+  CacheLine* l1 = nullptr;
+  CacheLine* l2 = nullptr;
+};
+
 class CacheHierarchy {
  public:
   CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2);
@@ -34,6 +43,17 @@ class CacheHierarchy {
 
   [[nodiscard]] ProbeResult probe(Addr block) const noexcept;
 
+  /// probe(), but returning the resolved line pointers so the access hot
+  /// path never repeats the associative search.
+  [[nodiscard]] LineLookup lookup(Addr block) noexcept {
+    LineLookup r;
+    r.l2 = l2_.find(block);
+    if (r.l2 != nullptr) {
+      r.l1 = l1_.find(block);
+    }
+    return r;
+  }
+
   /// Inserts `block` in both levels after a global fill. Returns a copy of
   /// the evicted L2 line (state kInvalid when none); the caller owns any
   /// resulting writeback/hint. The matching L1 copy of the L2 victim is
@@ -42,6 +62,10 @@ class CacheHierarchy {
 
   /// On an L1 miss that hits in L2, refill L1 from L2 (silent L1 victim).
   void refill_l1(Addr block);
+
+  /// refill_l1 for a caller that already resolved the L2 line; returns
+  /// the freshly inserted L1 line.
+  CacheLine* refill_l1(const CacheLine& line2);
 
   /// Sets the coherence state of `block` in both levels (must be present
   /// in L2).
@@ -53,6 +77,17 @@ class CacheHierarchy {
   /// Records a hit for LRU, and accumulates the accessed-word mask on the
   /// L2 line (used by the false-sharing classifier).
   void record_access(Addr block, std::uint64_t word_mask) noexcept;
+
+  /// record_access for a caller holding the resolved line pointers (the
+  /// access hot path). Same LRU-touch order: L2 first, then L1.
+  void record_access(CacheLine* line1, CacheLine& line2,
+                     std::uint64_t word_mask) noexcept {
+    l2_.touch(line2);
+    line2.accessed_words |= word_mask;
+    if (line1 != nullptr) {
+      l1_.touch(*line1);
+    }
+  }
 
   [[nodiscard]] Cache& l1() noexcept { return l1_; }
   [[nodiscard]] Cache& l2() noexcept { return l2_; }

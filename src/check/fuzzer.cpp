@@ -179,36 +179,56 @@ FuzzResult run_fuzzer(const FuzzOptions& options, const PolicyFactory& policy) {
       const PhaseTimer timer(options.heartbeat, "generate");
       trace = random_trace(rng, options, kinds);
     }
-    TraceRunResult run;
-    {
-      const PhaseTimer timer(options.heartbeat, "check");
-      run = run_trace(trace, policy, options.checker);
-    }
     result.traces += 1;
-    result.accesses += run.accesses;
+    // Protocols to check this stimulus under: the sampled one, or — with
+    // compare_protocols — the whole registry, replaying the same
+    // generated access stream per kind (capture once, replay many: the
+    // stream is protocol-independent by construction, so one generation
+    // feeds the full sweep).
+    std::vector<ProtocolKind> sweep{trace.machine.protocol.kind};
+    if (options.compare_protocols) {
+      sweep = kinds;
+    }
+    bool failed = false;
+    std::uint64_t trace_accesses = 0;
+    for (ProtocolKind kind : sweep) {
+      trace.machine.protocol.kind = kind;
+      TraceRunResult run;
+      {
+        const PhaseTimer timer(options.heartbeat, "check");
+        run = run_trace(trace, policy, options.checker);
+      }
+      result.replays += 1;
+      result.accesses += run.accesses;
+      trace_accesses += run.accesses;
+      if (run.ok()) {
+        continue;
+      }
+      failed = true;
+      if (result.failures.size() < options.max_failures) {
+        const PhaseTimer timer(options.heartbeat, "shrink");
+        ReproTrace repro = trace;
+        if (!run.violations.empty()) {
+          // Everything after the first violating access is noise.
+          repro.accesses.resize(
+              static_cast<std::size_t>(run.violations.front().access_index));
+        }
+        if (options.shrink) {
+          repro = shrink_repro(repro, policy, options.checker);
+        }
+        const TraceRunResult rerun =
+            run_trace(repro, policy, options.checker);
+        result.messages.push_back(rerun.violations.empty()
+                                      ? run.violations.front().message()
+                                      : rerun.violations.front().message());
+        result.failures.push_back(std::move(repro));
+      }
+    }
     if (options.heartbeat != nullptr) {
-      options.heartbeat->unit_done(run.accesses);
+      options.heartbeat->unit_done(trace_accesses);
     }
-    if (run.ok()) {
-      continue;
-    }
-    result.failing_traces += 1;
-    if (result.failures.size() < options.max_failures) {
-      const PhaseTimer timer(options.heartbeat, "shrink");
-      ReproTrace repro = trace;
-      if (!run.violations.empty()) {
-        // Everything after the first violating access is noise.
-        repro.accesses.resize(
-            static_cast<std::size_t>(run.violations.front().access_index));
-      }
-      if (options.shrink) {
-        repro = shrink_repro(repro, policy, options.checker);
-      }
-      const TraceRunResult rerun = run_trace(repro, policy, options.checker);
-      result.messages.push_back(rerun.violations.empty()
-                                    ? run.violations.front().message()
-                                    : rerun.violations.front().message());
-      result.failures.push_back(std::move(repro));
+    if (failed) {
+      result.failing_traces += 1;
     }
   }
   return result;

@@ -31,6 +31,13 @@ struct FuzzOptions {
   int trace_length = 48;
   /// Protocol kinds to draw from. Empty = all registered.
   std::vector<ProtocolKind> protocols;
+  /// Replay every generated trace under EVERY protocol kind instead of
+  /// sampling one per iteration: the capture-once / replay-many pattern
+  /// (the generated access stream is fixed, so one generation feeds the
+  /// whole protocol sweep and divergent protocol bugs surface on the
+  /// same stimulus). Off by default — sampling covers more streams per
+  /// CPU-second.
+  bool compare_protocols = false;
   /// Also randomize §5.5 knobs and the directory scheme (on by default;
   /// off pins the paper-default knobs, which the LS tag model verifies
   /// most strictly).
@@ -50,6 +57,9 @@ struct FuzzOptions {
 struct FuzzResult {
   std::uint64_t traces = 0;
   std::uint64_t accesses = 0;
+  /// Protocol replays performed (== traces unless compare_protocols).
+  std::uint64_t replays = 0;
+  /// Generated traces that failed under at least one protocol.
   std::uint64_t failing_traces = 0;
   /// Shrunk (when enabled) repro per failing trace, capped.
   std::vector<ReproTrace> failures;

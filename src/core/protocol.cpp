@@ -32,6 +32,9 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
       trace_(telemetry != nullptr ? telemetry->trace() : nullptr),
       audit_(telemetry != nullptr ? telemetry->audit() : nullptr) {
   assert(config.validate().empty());
+  fs_enabled_ = config.classify_false_sharing;
+  l1_fast_hit_ = !fs_enabled_ && config.l2.assoc == 1;
+  l1_lru_live_ = config.l1.assoc > 1;
   policy_->attach_directory_policy(dirpol_.get());
   if (dir_entry_limit_ != 0) {
     // Pre-size the table so entry() never rehashes: the eviction path
@@ -609,41 +612,78 @@ AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
                                   Cycles now) {
   assert(node < caches_.size());
   stats_.accesses += 1;
-  current_tag_ = req.tag;
-  current_time_ = now;
-  current_node_ = node;
-  current_block_ = caches_[node].l2().block_of(req.addr);
 
   CacheHierarchy& ch = caches_[node];
   const Addr block = ch.l2().block_of(req.addr);
   const bool is_write = req.is_write();
-  const std::uint64_t wmask = word_mask(req);
 
   AccessResult result;
-  const ProbeResult probe = ch.probe(block);
-
   bool predicted_exclusive = false;
   if (policy_observes_accesses_) {
     predicted_exclusive =
         policy_->observe_access(node, block, req.site, is_write);
   }
 
-  if (probe.l2_hit && (!is_write || probe.state == CacheState::kModified ||
-                       probe.state == CacheState::kLStemp)) {
+  // L1-hit fast path: valid L1 lines mirror their L2 twin's state
+  // (inclusion invariant), so one small-array probe classifies the
+  // access. Eligible only when the L2-side per-hit bookkeeping is dead:
+  // classifier off (no accessed-word mask) and direct-mapped L2 (no LRU
+  // stamp). Everything observable — counters, latency, policy training,
+  // LStemp conversion, checker — matches the general path exactly.
+  if (l1_fast_hit_) {
+    CacheLine* line1 = ch.l1().find(block);
+    if (line1 != nullptr && (!is_write || line1->state != CacheState::kShared)) {
+      result.l1_hit = true;
+      result.l2_hit = true;
+      result.latency = lat_.l1_access;
+      stats_.l1_hits += 1;
+      ch.l1().touch(*line1);
+      if (is_write && line1->state == CacheState::kLStemp) {
+        CacheLine* line2 = ch.l2().find(block);
+        line2->state = CacheState::kModified;
+        line1->state = CacheState::kModified;
+        stats_.eliminated_acquisitions += 1;
+        log_.record(now, ProtoEventKind::kLocalWrite, block, node,
+                    DirState::kExcl, true);
+        count_event(node, ProtoEventKind::kLocalWrite);
+        trace_instant(node, ProtoEventKind::kLocalWrite, block, now);
+        // This store would have been a global write action under the
+        // baseline protocol; the home learns about it lazily.
+        oracle_.on_global_write(node, block, /*eliminated=*/true, req.tag);
+      }
+      if (!lean_replay_) {
+        result.value = apply_data(req);
+      }
+      if (checker_ != nullptr) {
+        checker_->on_access(*this, node, req, result, now);
+      }
+      return result;
+    }
+  }
+
+  // One associative search resolves both levels; the returned line
+  // pointers carry the whole access (LRU touch, state change, classifier
+  // mask) so hits never repeat the lookup.
+  LineLookup lines = ch.lookup(block);
+
+  if (lines.l2 != nullptr &&
+      (!is_write || lines.l2->state == CacheState::kModified ||
+       lines.l2->state == CacheState::kLStemp)) {
     // Cache hit (including the technique's payoff: a write on an
     // exclusive-unwritten LStemp line completes locally).
-    result.l1_hit = probe.l1_hit;
+    result.l1_hit = lines.l1 != nullptr;
     result.l2_hit = true;
-    result.latency = probe.l1_hit ? lat_.l1_access
-                                  : lat_.l1_access + lat_.l2_access;
-    if (probe.l1_hit) {
+    result.latency = result.l1_hit ? lat_.l1_access
+                                   : lat_.l1_access + lat_.l2_access;
+    if (result.l1_hit) {
       stats_.l1_hits += 1;
     } else {
       stats_.l2_hits += 1;
-      ch.refill_l1(block);
+      lines.l1 = ch.refill_l1(*lines.l2);
     }
-    if (is_write && probe.state == CacheState::kLStemp) {
-      ch.set_state(block, CacheState::kModified);
+    if (is_write && lines.l2->state == CacheState::kLStemp) {
+      lines.l2->state = CacheState::kModified;
+      lines.l1->state = CacheState::kModified;
       stats_.eliminated_acquisitions += 1;
       log_.record(now, ProtoEventKind::kLocalWrite, block, node,
                   DirState::kExcl, true);
@@ -653,29 +693,66 @@ AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
       // baseline protocol; the home learns about it lazily.
       oracle_.on_global_write(node, block, /*eliminated=*/true, req.tag);
     }
-  } else if (probe.l2_hit) {
-    // Write on a Shared line: ownership upgrade.
-    assert(probe.state == CacheState::kShared);
-    result.l2_hit = true;
-    result.global = true;
-    result.latency = do_write_global(node, block, now, /*upgrade=*/true) - now;
   } else {
-    result.global = true;
-    const Cycles done =
-        is_write ? do_write_global(node, block, now, false)
-                 : do_read_miss(node, block, now, predicted_exclusive,
-                                req.site);
-    result.latency = done - now;
+    // Global transaction: publish the in-flight access context for the
+    // oracle/log/audit hooks reached through the tag machinery.
+    current_tag_ = req.tag;
+    current_time_ = now;
+    current_node_ = node;
+    current_block_ = block;
+    if (lines.l2 != nullptr) {
+      // Write on a Shared line: ownership upgrade.
+      assert(lines.l2->state == CacheState::kShared);
+      result.l2_hit = true;
+      result.global = true;
+      result.latency =
+          do_write_global(node, block, now, /*upgrade=*/true) - now;
+    } else {
+      result.global = true;
+      const Cycles done =
+          is_write ? do_write_global(node, block, now, false)
+                   : do_read_miss(node, block, now, predicted_exclusive,
+                                  req.site);
+      result.latency = done - now;
+    }
+    // The transaction refilled (or re-created) the line. When the fast
+    // hit path is eligible the post-transaction bookkeeping is almost
+    // entirely dead (classifier off, direct-mapped L2): only a
+    // set-associative L1's LRU stamp survives, so skip the L2 re-probe
+    // and finish here.
+    if (l1_fast_hit_) {
+      if (l1_lru_live_) {
+        CacheLine* line1 = ch.l1().find(block);
+        if (line1 != nullptr) {
+          ch.l1().touch(*line1);
+        }
+      }
+      if (!lean_replay_) {
+        result.value = apply_data(req);
+      }
+      if (checker_ != nullptr) {
+        checker_->on_access(*this, node, req, result, now);
+      }
+      return result;
+    }
+    lines.l2 = ch.l2().find(block);
+    lines.l1 = ch.l1().find(block);
   }
 
-  CacheLine* line2 = ch.l2().find(block);
-  assert(line2 != nullptr);
-  ch.record_access(block, wmask);
-  fs_.on_access(*line2, wmask);
-  if (is_write) {
-    fs_.on_write_words(node, block, wmask);
+  assert(lines.l2 != nullptr);
+  if (fs_enabled_) {
+    const std::uint64_t wmask = word_mask(req);
+    ch.record_access(lines.l1, *lines.l2, wmask);
+    fs_.on_access(*lines.l2, wmask);
+    if (is_write) {
+      fs_.on_write_words(node, block, wmask);
+    }
+  } else {
+    ch.record_access(lines.l1, *lines.l2, 0);
   }
-  result.value = apply_data(req);
+  if (!lean_replay_) {
+    result.value = apply_data(req);
+  }
   if (checker_ != nullptr) {
     checker_->on_access(*this, node, req, result, now);
   }

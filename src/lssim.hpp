@@ -45,7 +45,9 @@
 #include "telemetry/telemetry.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/task_queue.hpp"
+#include "trace/config_hash.hpp"
 #include "trace/recorder.hpp"
+#include "trace/replay_compare.hpp"
 #include "trace/trace.hpp"
 #include "workloads/cholesky.hpp"
 #include "workloads/harness.hpp"

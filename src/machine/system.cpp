@@ -83,8 +83,8 @@ void System::run() {
     next->has_pending_ = false;
     const AccessRequest req = next->pending_;
     const AccessResult res = memory_.access(next->id_, req, next->time_);
-    if (observer_) {
-      observer_(next->id_, req, next->time_, res.latency);
+    for (const AccessObserver& observer : observers_) {
+      observer(next->id_, req, next->time_, res.latency);
     }
     if (req.is_write()) {
       stats_.write_latency.record(res.latency);

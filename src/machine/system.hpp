@@ -81,11 +81,20 @@ class System {
   }
 
   /// Observer invoked for every executed access (node, request, issue
-  /// time, latency). Used by the trace recorder; set before run().
+  /// time, latency). Used by the trace recorder and telemetry probes;
+  /// attach before run(). Observers COMPOSE: each added observer is
+  /// invoked in registration order, so a recorder and a telemetry probe
+  /// can watch the same run without silently dropping each other.
   using AccessObserver =
       std::function<void(NodeId, const AccessRequest&, Cycles, Cycles)>;
+  void add_access_observer(AccessObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+  /// Historical name; despite "set", this has the same append-compose
+  /// semantics as add_access_observer (it never replaces observers
+  /// attached earlier).
   void set_access_observer(AccessObserver observer) {
-    observer_ = std::move(observer);
+    add_access_observer(std::move(observer));
   }
 
  private:
@@ -103,7 +112,7 @@ class System {
   std::vector<SimTask<void>> programs_;  // Index-aligned with procs_.
   std::vector<std::shared_ptr<void>> retained_;
   EpochTimeline timeline_;
-  AccessObserver observer_;
+  std::vector<AccessObserver> observers_;
   // System-level metric handles (only valid when telemetry.metrics is on).
   HistogramHandle read_latency_h_;
   HistogramHandle write_latency_h_;

@@ -6,13 +6,17 @@
 namespace lssim {
 
 AddressSpace::AddressSpace(int num_nodes, std::uint32_t page_bytes)
-    : num_nodes_(num_nodes), page_bytes_(page_bytes) {
+    : num_nodes_(num_nodes),
+      page_bytes_(page_bytes),
+      page_shift_(static_cast<std::uint32_t>(std::countr_zero(page_bytes))),
+      offset_mask_(static_cast<Addr>(page_bytes) - 1) {
   assert(num_nodes >= 1);
   assert(page_bytes >= 8);
+  assert(std::has_single_bit(page_bytes));
 }
 
 std::byte* AddressSpace::page_for(Addr addr) {
-  const Addr page = addr / page_bytes_;
+  const Addr page = addr >> page_shift_;
   if (page == last_page_) {
     return last_data_;
   }
@@ -27,7 +31,7 @@ std::byte* AddressSpace::page_for(Addr addr) {
 }
 
 const std::byte* AddressSpace::page_if_present(Addr addr) const noexcept {
-  const Addr page = addr / page_bytes_;
+  const Addr page = addr >> page_shift_;
   if (page == last_page_) {
     return last_data_;
   }
@@ -42,23 +46,23 @@ const std::byte* AddressSpace::page_if_present(Addr addr) const noexcept {
 
 std::uint64_t AddressSpace::load(Addr addr, unsigned size) const {
   assert(size == 1 || size == 2 || size == 4 || size == 8);
-  assert(addr % page_bytes_ + size <= page_bytes_ &&
+  assert((addr & offset_mask_) + size <= page_bytes_ &&
          "access must not cross a page boundary");
   const std::byte* page = page_if_present(addr);
   if (page == nullptr) {
     return 0;
   }
   std::uint64_t value = 0;
-  std::memcpy(&value, page + addr % page_bytes_, size);
+  std::memcpy(&value, page + (addr & offset_mask_), size);
   return value;
 }
 
 void AddressSpace::store(Addr addr, unsigned size, std::uint64_t value) {
   assert(size == 1 || size == 2 || size == 4 || size == 8);
-  assert(addr % page_bytes_ + size <= page_bytes_ &&
+  assert((addr & offset_mask_) + size <= page_bytes_ &&
          "access must not cross a page boundary");
   std::byte* page = page_for(addr);
-  std::memcpy(page + addr % page_bytes_, &value, size);
+  std::memcpy(page + (addr & offset_mask_), &value, size);
 }
 
 }  // namespace lssim

@@ -11,6 +11,7 @@
 // map rehashes; the map never erases.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -26,7 +27,7 @@ class AddressSpace {
 
   /// Home node of the page containing `addr`.
   [[nodiscard]] NodeId home_of(Addr addr) const noexcept {
-    return static_cast<NodeId>((addr / page_bytes_) %
+    return static_cast<NodeId>((addr >> page_shift_) %
                                static_cast<Addr>(num_nodes_));
   }
 
@@ -55,6 +56,10 @@ class AddressSpace {
 
   int num_nodes_;
   std::uint32_t page_bytes_;
+  // page_bytes_ is a validated power of two: page and offset math is
+  // shift-and-mask (load/store sit on the simulator's per-access path).
+  std::uint32_t page_shift_;
+  Addr offset_mask_;
   std::unordered_map<Addr, std::unique_ptr<std::byte[]>> pages_;
   // Last-page cache (mutable: load() is logically const). Only ever
   // caches a materialised page, so load-after-store stays coherent.

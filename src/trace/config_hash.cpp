@@ -1,0 +1,61 @@
+#include "trace/config_hash.hpp"
+
+#include <cstdio>
+
+namespace lssim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) noexcept {
+    // Hash all 8 bytes explicitly so the result is independent of host
+    // endianness and of the caller's integer width.
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xff;
+      hash_ *= kFnvPrime;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+}  // namespace
+
+std::uint64_t trace_config_hash(const MachineConfig& config) noexcept {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(config.num_nodes));
+  h.mix(config.page_bytes);
+  for (const CacheConfig* cache : {&config.l1, &config.l2}) {
+    h.mix(cache->size_bytes);
+    h.mix(cache->assoc);
+    h.mix(cache->block_bytes);
+  }
+  const LatencyConfig& lat = config.latency;
+  h.mix(lat.l1_access);
+  h.mix(lat.l2_access);
+  h.mix(lat.l2_readout);
+  h.mix(lat.controller);
+  h.mix(lat.memory);
+  h.mix(lat.hop);
+  h.mix(lat.fill);
+  h.mix(lat.link_occupancy);
+  h.mix(config.word_bytes);
+  h.mix(static_cast<std::uint64_t>(config.consistency));
+  h.mix(config.write_buffer_depth);
+  h.mix(static_cast<std::uint64_t>(config.topology));
+  return h.value();
+}
+
+std::string format_config_hash(std::uint64_t hash) {
+  char buffer[2 + 16 + 1];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace lssim

@@ -1,0 +1,31 @@
+// Machine-configuration hash for cached access traces.
+//
+// A recorded trace is only meaningful against machines whose
+// *protocol-insensitive* configuration matches the capture machine: node
+// count and page interleaving (which addresses exist and where they
+// live), cache geometry and latencies (which determine the issue times
+// the per-record gaps were measured against), consistency model and
+// topology. Protocol and directory-organisation knobs are deliberately
+// excluded — sweeping those over one trace is the entire point of the
+// capture-once/replay-many engine (trace/replay_compare.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hpp"
+
+namespace lssim {
+
+/// FNV-1a hash over the protocol-insensitive MachineConfig fields.
+/// Stable across runs and platforms (field-by-field, little-endian
+/// widths); NOT stable across releases that add hashed fields — which is
+/// the desired behaviour: a layout change invalidates cached traces.
+[[nodiscard]] std::uint64_t trace_config_hash(
+    const MachineConfig& config) noexcept;
+
+/// `hash` as the fixed-width lowercase hex string used in mismatch
+/// messages, e.g. "0x00c0ffee00c0ffee".
+[[nodiscard]] std::string format_config_hash(std::uint64_t hash);
+
+}  // namespace lssim

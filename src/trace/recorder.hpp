@@ -6,8 +6,15 @@
 //   TraceRecorder recorder(sys, trace);
 //   build_workload(sys, ...);
 //   sys.run();                 // trace now holds the full access stream
+//   recorder.finish(sys);      // record trailing compute per node
+//
+// The recorder registers through System::add_access_observer, so it
+// COMPOSES with other observers (telemetry, tests) instead of replacing
+// them — attaching a second observer after the recorder must not drop
+// records (regression-tested in tests/trace/trace_test.cpp).
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "machine/system.hpp"
@@ -20,11 +27,31 @@ class TraceRecorder {
   TraceRecorder(System& sys, Trace& trace)
       : trace_(trace),
         last_completion_(static_cast<std::size_t>(sys.num_procs()), 0) {
-    sys.set_access_observer([this](NodeId node, const AccessRequest& req,
+    sys.add_access_observer([this](NodeId node, const AccessRequest& req,
                                    Cycles issue, Cycles latency) {
+      // last_completion_ was sized at construction; a record for a node
+      // beyond it means the recorder was attached to a different System
+      // than the one running.
+      if (node >= last_completion_.size()) {
+        throw std::logic_error(
+            "TraceRecorder: access from a node outside the System the "
+            "recorder was constructed for");
+      }
+      if (issue < last_completion_[node]) {
+        // Gaps are unsigned compute times; a completion after the next
+        // issue (processor-consistency buffered stores) cannot be
+        // encoded. capture_trace() rejects PC up front; this guards
+        // direct TraceRecorder use.
+        throw std::logic_error(
+            "TraceRecorder: access issued before the previous one "
+            "completed (non-SC machine?)");
+      }
       TraceRecord record;
       record.addr = req.addr;
       record.issue_gap = issue - last_completion_[node];
+      record.wdata = req.wdata;
+      record.expected = req.expected;
+      record.site = req.site;
       record.node = node;
       record.op = static_cast<std::uint8_t>(req.op);
       record.size = static_cast<std::uint8_t>(req.size);
@@ -32,6 +59,18 @@ class TraceRecorder {
       trace_.append(record);
       last_completion_[node] = issue + latency;
     });
+  }
+
+  /// Call after sys.run(): stores each node's trailing compute (local
+  /// time beyond its last access completion) in the trace metadata, so
+  /// replay accounts workloads that end on compute() correctly.
+  void finish(System& sys) {
+    auto& gaps = trace_.meta().final_gaps;
+    gaps.assign(last_completion_.size(), 0);
+    for (std::size_t n = 0; n < last_completion_.size(); ++n) {
+      const Cycles end = sys.proc(static_cast<NodeId>(n)).time();
+      gaps[n] = end >= last_completion_[n] ? end - last_completion_[n] : 0;
+    }
   }
 
  private:

@@ -1,0 +1,294 @@
+#include "trace/replay_compare.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "exec/parallel_executor.hpp"
+#include "machine/system.hpp"
+#include "mem/address_space.hpp"
+#include "trace/config_hash.hpp"
+#include "trace/recorder.hpp"
+
+namespace lssim {
+
+CapturedTrace capture_trace(const MachineConfig& config,
+                            const WorkloadBuilder& build, std::uint64_t seed,
+                            const std::string& workload) {
+  if (config.consistency != ConsistencyModel::kSc) {
+    throw std::invalid_argument(
+        "trace capture requires sequential consistency: buffered stores "
+        "(PC) overlap compute with access latency, which the per-node "
+        "completion-gap encoding cannot represent");
+  }
+  CapturedTrace captured;
+  System sys(config, seed);
+  TraceRecorder recorder(sys, captured.trace);
+  build(sys);
+  sys.run();
+  if (sys.timed_out()) {
+    throw std::runtime_error(
+        "trace capture hit the max_cycles watchdog: refusing to record a "
+        "truncated access stream");
+  }
+  recorder.finish(sys);
+  captured.trace.meta().config_hash = trace_config_hash(config);
+  captured.trace.meta().seed = seed;
+  captured.trace.meta().workload = workload;
+  captured.executed = collect(sys);
+  return captured;
+}
+
+TraceConfigMismatch::TraceConfigMismatch(std::uint64_t trace,
+                                         std::uint64_t machine)
+    : std::runtime_error(
+          "trace/machine configuration mismatch: trace recorded on " +
+          format_config_hash(trace) + ", replay machine is " +
+          format_config_hash(machine) +
+          " (protocol-insensitive fields differ; re-capture the trace)"),
+      trace_hash(trace),
+      machine_hash(machine) {}
+
+namespace {
+
+void check_config_compatible(const Trace& trace, const MachineConfig& cfg) {
+  const std::uint64_t recorded = trace.meta().config_hash;
+  if (recorded == 0) {
+    return;  // Hand-built or version-1 trace: nothing to check against.
+  }
+  const std::uint64_t machine = trace_config_hash(cfg);
+  if (recorded != machine) {
+    throw TraceConfigMismatch(recorded, machine);
+  }
+}
+
+}  // namespace
+
+ReplayCompareEngine::ReplayCompareEngine(const Trace& trace,
+                                         const MachineConfig& base)
+    : trace_(&trace), base_(base) {
+  if (base_.consistency != ConsistencyModel::kSc) {
+    throw std::invalid_argument(
+        "trace replay requires sequential consistency (matching capture)");
+  }
+  check_config_compatible(trace, base_);
+  streams_.resize(static_cast<std::size_t>(base_.num_nodes));
+  const auto& records = trace.records();
+  for (const TraceRecord& r : records) {
+    if (r.node >= streams_.size()) {
+      throw std::out_of_range("trace record for node outside machine");
+    }
+    DecodedAccess d;
+    d.addr = r.addr;
+    d.gap = r.issue_gap;
+    d.site = r.site;
+    d.op = static_cast<MemOpKind>(r.op);
+    d.tag = static_cast<StreamTag>(r.tag);
+    d.size = static_cast<std::uint8_t>(r.size);
+    streams_[r.node].push_back(d);
+  }
+}
+
+RunResult ReplayCompareEngine::replay_collect(const MachineConfig& config,
+                                              Stats& stats,
+                                              Cycles* total_cycles) const {
+  check_config_compatible(*trace_, config);
+  AddressSpace space(config.num_nodes, config.page_bytes);
+  MemorySystem memory(config, space, stats);
+  // No workload consumes the replayed values and no checker is attached:
+  // skip the simulated data movement (stat-neutral; see protocol.hpp).
+  memory.enable_lean_replay();
+  // Pre-size the block-keyed tables from an earlier replay's observed
+  // population (see the hint members' doc for why this is unobservable
+  // and why the directory hint is full-map-only).
+  if (const std::size_t hint =
+          oracle_population_hint_.load(std::memory_order_relaxed);
+      hint != 0) {
+    memory.oracle().reserve(hint);
+  }
+  if (const std::size_t hint =
+          dir_population_hint_.load(std::memory_order_relaxed);
+      hint != 0 && config.directory_scheme == DirectoryKind::kFullMap) {
+    memory.directory().reserve(hint);
+  }
+
+  constexpr Cycles kDone = std::numeric_limits<Cycles>::max();
+  const auto& final_gaps = trace_->meta().final_gaps;
+  const std::size_t nodes = streams_.size();
+  std::vector<std::size_t> cursor(nodes, 0);
+  std::vector<Cycles> clock(nodes, 0);
+  // Cached next issue time per node: only the node that issued changes
+  // between iterations, so the min-scan reads a flat Cycles array
+  // instead of chasing cursors into the record stream.
+  std::vector<Cycles> next_issue(nodes, kDone);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    if (!streams_[n].empty()) next_issue[n] = streams_[n][0].gap;
+  }
+
+  // The live scheduler, without the coroutines: always issue the pending
+  // access with the earliest issue time (strict < with ascending node
+  // scan = ties to the lowest node id, exactly like System::run), then
+  // advance that node's clock by the access latency. The recorded gap is
+  // the compute the program did between the accesses.
+  for (;;) {
+    // Min-reduction first (branchless, vectorizable), then the first
+    // index holding the minimum — identical to a strict-< ascending scan
+    // (ties resolve to the lowest node id, exactly like System::run).
+    Cycles best_issue = next_issue[0];
+    for (std::size_t n = 1; n < nodes; ++n) {
+      best_issue = std::min(best_issue, next_issue[n]);
+    }
+    if (best_issue == kDone) break;
+    std::size_t best = 0;
+    while (next_issue[best] != best_issue) {
+      ++best;
+    }
+
+    const DecodedAccess& d = streams_[best][cursor[best]++];
+    AccessRequest req;
+    req.op = d.op;
+    req.addr = d.addr;
+    req.size = d.size;
+    req.tag = d.tag;
+    req.site = d.site;
+    const AccessResult res =
+        memory.access(static_cast<NodeId>(best), req, best_issue);
+
+    const bool is_write = req.is_write();
+    if (is_write) {
+      stats.write_latency.record(res.latency);
+    } else {
+      stats.read_latency.record(res.latency);
+    }
+    // SC time accounting, verbatim from System::run: one issue-width
+    // slice is busy, the rest of the latency is read or write stall, and
+    // the inter-access gap itself was compute (busy) time.
+    TimeBreakdown& tb = stats.per_proc[best];
+    const Cycles issue_cost =
+        std::min<Cycles>(res.latency, config.latency.l1_access);
+    tb.busy += d.gap + issue_cost;
+    const Cycles stall = res.latency - issue_cost;
+    if (is_write) {
+      tb.write_stall += stall;
+    } else {
+      tb.read_stall += stall;
+    }
+    clock[best] = best_issue + res.latency;
+    if (cursor[best] < streams_[best].size()) {
+      const DecodedAccess& up = streams_[best][cursor[best]];
+      next_issue[best] = clock[best] + up.gap;
+      // The replay engine knows each node's future accesses — something a
+      // live execution never does. Warm the host cache for the simulated
+      // structures the upcoming access will probe; by the time this node
+      // issues again, other nodes' accesses have covered the miss
+      // latency. Stat-neutral: prefetch touches no simulated state.
+      memory.prefetch(static_cast<NodeId>(best), up.addr);
+    } else {
+      next_issue[best] = kDone;
+    }
+  }
+
+  // Trailing compute after each node's last access (or a node's whole
+  // program, when it never touched memory).
+  Cycles exec_time = 0;
+  Cycles clock_sum = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const Cycles gap = n < final_gaps.size() ? final_gaps[n] : 0;
+    stats.per_proc[n].busy += gap;
+    clock[n] += gap;
+    exec_time = std::max(exec_time, clock[n]);
+    clock_sum += clock[n];
+  }
+  memory.finalize();
+  // Publish the populations this replay discovered for the next cell.
+  // Different protocols tag differently but touch the same block set, so
+  // any cell's population is the right hint for every other; max() keeps
+  // the largest seen under concurrent publication.
+  const std::size_t dir_seen = memory.directory().size();
+  std::size_t prev = dir_population_hint_.load(std::memory_order_relaxed);
+  while (prev < dir_seen && !dir_population_hint_.compare_exchange_weak(
+                                prev, dir_seen, std::memory_order_relaxed)) {
+  }
+  const std::size_t oracle_seen = memory.oracle().population();
+  prev = oracle_population_hint_.load(std::memory_order_relaxed);
+  while (prev < oracle_seen &&
+         !oracle_population_hint_.compare_exchange_weak(
+             prev, oracle_seen, std::memory_order_relaxed)) {
+  }
+  if (total_cycles != nullptr) {
+    *total_cycles = clock_sum;
+  }
+  return collect(config, stats, memory, exec_time);
+}
+
+RunResult ReplayCompareEngine::replay_config(
+    const MachineConfig& config) const {
+  Stats stats(config.num_nodes);
+  return replay_collect(config, stats);
+}
+
+RunResult ReplayCompareEngine::replay(ProtocolKind protocol) const {
+  MachineConfig cfg = base_;
+  cfg.protocol.kind = protocol;
+  return replay_config(cfg);
+}
+
+RunResult ReplayCompareEngine::replay(ProtocolKind protocol,
+                                      DirectoryKind directory) const {
+  MachineConfig cfg = base_;
+  cfg.protocol.kind = protocol;
+  cfg.directory_scheme = directory;
+  return replay_config(cfg);
+}
+
+std::vector<RunResult> ReplayCompareEngine::replay_matrix(
+    std::span<const ProtocolKind> protocols,
+    std::span<const DirectoryKind> directories, int jobs) const {
+  const std::size_t dirs = std::max<std::size_t>(1, directories.size());
+  return parallel_map<RunResult>(
+      protocols.size() * dirs, jobs, [&, this](std::size_t i) {
+        MachineConfig cfg = base_;
+        cfg.protocol.kind = protocols[i / dirs];
+        if (!directories.empty()) {
+          cfg.directory_scheme = directories[i % dirs];
+        }
+        return replay_config(cfg);
+      });
+}
+
+std::vector<std::string> compare_replay(const RunResult& executed,
+                                        const RunResult& replayed) {
+  std::vector<std::string> diffs;
+  const auto field = [&diffs](const char* name, std::uint64_t exec,
+                              std::uint64_t replay) {
+    if (exec != replay) {
+      diffs.push_back(std::string(name) + ": executed " +
+                      std::to_string(exec) + ", replayed " +
+                      std::to_string(replay));
+    }
+  };
+  field("exec_cycles", executed.exec_time, replayed.exec_time);
+  field("busy", executed.time.busy, replayed.time.busy);
+  field("read_stall", executed.time.read_stall, replayed.time.read_stall);
+  field("write_stall", executed.time.write_stall, replayed.time.write_stall);
+  field("accesses", executed.accesses, replayed.accesses);
+  field("l1_hits", executed.l1_hits, replayed.l1_hits);
+  field("l2_hits", executed.l2_hits, replayed.l2_hits);
+  field("messages", executed.traffic_total, replayed.traffic_total);
+  field("global_read_misses", executed.global_read_misses,
+        replayed.global_read_misses);
+  field("global_write_actions", executed.global_write_actions,
+        replayed.global_write_actions);
+  field("ownership_acquisitions", executed.ownership_acquisitions,
+        replayed.ownership_acquisitions);
+  field("invalidations", executed.invalidations, replayed.invalidations);
+  field("eliminated_acquisitions", executed.eliminated_acquisitions,
+        replayed.eliminated_acquisitions);
+  field("blocks_tagged", executed.blocks_tagged, replayed.blocks_tagged);
+  field("blocks_detagged", executed.blocks_detagged,
+        replayed.blocks_detagged);
+  field("dir_entry_evictions", executed.dir_entry_evictions,
+        replayed.dir_entry_evictions);
+  return diffs;
+}
+
+}  // namespace lssim

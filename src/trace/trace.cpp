@@ -3,17 +3,16 @@
 #include <array>
 #include <cstring>
 #include <istream>
-#include <limits>
 #include <ostream>
 #include <stdexcept>
-#include <vector>
 
-#include "mem/address_space.hpp"
+#include "trace/replay_compare.hpp"
 
 namespace lssim {
 namespace {
 
-constexpr char kMagic[8] = {'L', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagicV1[8] = {'L', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagicV2[8] = {'L', 'S', 'T', 'R', 'A', 'C', 'E', '2'};
 
 template <typename T>
 void put(std::ostream& os, T value) {
@@ -36,15 +35,34 @@ T get(std::istream& is) {
   return value;
 }
 
+void check_stream(std::istream& is) {
+  if (!is) {
+    throw std::runtime_error("truncated lssim trace file");
+  }
+}
+
 }  // namespace
 
 void Trace::save(std::ostream& os) const {
-  os.write(kMagic, sizeof(kMagic));
+  os.write(kMagicV2, sizeof(kMagicV2));
+  put<std::uint64_t>(os, meta_.config_hash);
+  put<std::uint64_t>(os, meta_.seed);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(meta_.workload.size()));
+  os.write(meta_.workload.data(),
+           static_cast<std::streamsize>(meta_.workload.size()));
+  put<std::uint32_t>(os,
+                     static_cast<std::uint32_t>(meta_.final_gaps.size()));
+  for (Cycles gap : meta_.final_gaps) {
+    put<std::uint64_t>(os, gap);
+  }
   put<std::uint64_t>(os, records_.size());
   for (const TraceRecord& r : records_) {
     put<std::uint64_t>(os, r.addr);
     put<std::uint64_t>(os, r.issue_gap);
-    put<std::uint8_t>(os, r.node);
+    put<std::uint64_t>(os, r.wdata);
+    put<std::uint64_t>(os, r.expected);
+    put<std::uint32_t>(os, r.site);
+    put<std::uint16_t>(os, r.node);
     put<std::uint8_t>(os, r.op);
     put<std::uint8_t>(os, r.size);
     put<std::uint8_t>(os, r.tag);
@@ -54,23 +72,57 @@ void Trace::save(std::ostream& os) const {
 Trace Trace::load(std::istream& is) {
   char magic[8];
   is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const bool v1 = is && std::memcmp(magic, kMagicV1, sizeof(magic)) == 0;
+  const bool v2 = is && std::memcmp(magic, kMagicV2, sizeof(magic)) == 0;
+  if (!v1 && !v2) {
     throw std::runtime_error("not an lssim trace file");
   }
-  const std::uint64_t count = get<std::uint64_t>(is);
+
   Trace trace;
+  if (v2) {
+    trace.meta_.config_hash = get<std::uint64_t>(is);
+    trace.meta_.seed = get<std::uint64_t>(is);
+    const std::uint32_t name_len = get<std::uint32_t>(is);
+    check_stream(is);
+    if (name_len > (1u << 20)) {
+      throw std::runtime_error("corrupt lssim trace file (workload name)");
+    }
+    trace.meta_.workload.resize(name_len);
+    is.read(trace.meta_.workload.data(), name_len);
+    const std::uint32_t gaps = get<std::uint32_t>(is);
+    check_stream(is);
+    if (gaps > static_cast<std::uint32_t>(kMaxNodes)) {
+      throw std::runtime_error("corrupt lssim trace file (final gaps)");
+    }
+    trace.meta_.final_gaps.reserve(gaps);
+    for (std::uint32_t i = 0; i < gaps; ++i) {
+      trace.meta_.final_gaps.push_back(get<std::uint64_t>(is));
+    }
+    check_stream(is);
+  }
+
+  const std::uint64_t count = get<std::uint64_t>(is);
+  check_stream(is);
   trace.records_.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     TraceRecord r;
     r.addr = get<std::uint64_t>(is);
     r.issue_gap = get<std::uint64_t>(is);
-    r.node = get<std::uint8_t>(is);
+    if (v2) {
+      r.wdata = get<std::uint64_t>(is);
+      r.expected = get<std::uint64_t>(is);
+      r.site = get<std::uint32_t>(is);
+      r.node = get<std::uint16_t>(is);
+    } else {
+      // Version-1 records carried no data payloads; replay historically
+      // substituted the constant 1.
+      r.wdata = 1;
+      r.node = get<std::uint8_t>(is);
+    }
     r.op = get<std::uint8_t>(is);
     r.size = get<std::uint8_t>(is);
     r.tag = get<std::uint8_t>(is);
-    if (!is) {
-      throw std::runtime_error("truncated lssim trace file");
-    }
+    check_stream(is);
     trace.records_.push_back(r);
   }
   return trace;
@@ -78,53 +130,10 @@ Trace Trace::load(std::istream& is) {
 
 ReplayResult replay_trace(const Trace& trace, const MachineConfig& config,
                           Stats& stats) {
-  AddressSpace space(config.num_nodes, config.page_bytes);
-  MemorySystem memory(config, space, stats);
-
-  // Per-node program-order index into the trace.
-  const auto& records = trace.records();
-  std::vector<std::vector<std::size_t>> order(
-      static_cast<std::size_t>(config.num_nodes));
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    if (records[i].node >= order.size()) {
-      throw std::out_of_range("trace record for node outside machine");
-    }
-    order[records[i].node].push_back(i);
-  }
-
-  std::vector<std::size_t> cursor(order.size(), 0);
-  std::vector<Cycles> clock(order.size(), 0);
+  const ReplayCompareEngine engine(trace, config);
   ReplayResult result;
-
-  for (;;) {
-    // Pick the node whose next access issues earliest.
-    int best = -1;
-    Cycles best_issue = std::numeric_limits<Cycles>::max();
-    for (std::size_t n = 0; n < order.size(); ++n) {
-      if (cursor[n] >= order[n].size()) continue;
-      const TraceRecord& r = records[order[n][cursor[n]]];
-      const Cycles issue = clock[n] + r.issue_gap;
-      if (issue < best_issue) {
-        best_issue = issue;
-        best = static_cast<int>(n);
-      }
-    }
-    if (best < 0) break;
-
-    const TraceRecord& r = records[order[best][cursor[best]++]];
-    AccessRequest req;
-    req.op = static_cast<MemOpKind>(r.op);
-    req.addr = r.addr;
-    req.size = r.size;
-    req.tag = static_cast<StreamTag>(r.tag);
-    req.wdata = 1;  // Replay carries no data payloads.
-    const AccessResult res =
-        memory.access(static_cast<NodeId>(best), req, best_issue);
-    clock[best] = best_issue + res.latency;
-    result.accesses += 1;
-  }
-  memory.finalize();
-  for (Cycles c : clock) result.total_cycles += c;
+  (void)engine.replay_collect(config, stats, &result.total_cycles);
+  result.accesses = trace.size();
   return result;
 }
 

@@ -5,11 +5,15 @@
 namespace lssim {
 
 RunResult collect(System& sys) {
-  const Stats& stats = sys.stats();
+  return collect(sys.config(), sys.stats(), sys.memory(), sys.exec_time());
+}
+
+RunResult collect(const MachineConfig& config, const Stats& stats,
+                  MemorySystem& memory, Cycles exec_time) {
   RunResult result;
-  result.protocol = sys.config().protocol.kind;
-  result.directory = sys.config().directory_scheme;
-  result.exec_time = sys.exec_time();
+  result.protocol = config.protocol.kind;
+  result.directory = config.directory_scheme;
+  result.exec_time = exec_time;
   result.time = stats.time_total();
   for (int c = 0; c < kNumMsgClasses; ++c) {
     result.traffic[static_cast<std::size_t>(c)] =
@@ -32,7 +36,7 @@ RunResult collect(System& sys) {
   result.blocks_tagged = stats.blocks_tagged;
   result.blocks_detagged = stats.blocks_detagged;
   result.dir_entry_evictions = stats.dir_entry_evictions;
-  LoadStoreOracle& oracle = sys.memory().oracle();
+  LoadStoreOracle& oracle = memory.oracle();
   result.oracle_total = oracle.total();
   for (int t = 0; t < kNumStreamTags; ++t) {
     result.oracle_by_tag[static_cast<std::size_t>(t)] =

@@ -19,7 +19,7 @@ SimTask<void> pingpong_program(System& sys,
                                NodeId id, PingPongParams p) {
   Processor& proc = sys.proc(id);
   const int nprocs = sys.num_procs();
-  co_await ctx->barrier->wait(proc);
+  if (p.sync) co_await ctx->barrier->wait(proc);
   for (int r = 0; r < p.rounds; ++r) {
     // Wait for this processor's turn (strict round-robin): serialized
     // turns make the counter updates genuinely migratory.
@@ -48,7 +48,7 @@ SimTask<void> private_rmw_program(System& sys,
                                   NodeId id, PrivateRmwParams p) {
   Processor& proc = sys.proc(id);
   const std::uint64_t base = id * p.words_per_proc;
-  co_await ctx->barrier->wait(proc);
+  if (p.sync) co_await ctx->barrier->wait(proc);
   for (int sweep = 0; sweep < p.sweeps; ++sweep) {
     for (std::uint64_t w = 0; w < p.words_per_proc; ++w) {
       const Addr addr = ctx->data.addr(base + w);
@@ -63,7 +63,7 @@ SimTask<void> read_mostly_program(System& sys,
                                   std::shared_ptr<MicroContext> ctx,
                                   NodeId id, ReadMostlyParams p) {
   Processor& proc = sys.proc(id);
-  co_await ctx->barrier->wait(proc);
+  if (p.sync) co_await ctx->barrier->wait(proc);
   for (int r = 0; r < p.rounds; ++r) {
     if (id == 0) {
       for (int w = 0; w < p.writes_per_round; ++w) {

@@ -22,10 +22,21 @@
 
 namespace lssim {
 
+// Each micro workload takes a `sync` knob (default on): when set, the
+// programs rendezvous on a spin barrier before their main loop. Turning
+// it off (`sync = 0`) removes the only timing-dependent control flow in
+// private-RMW and read-mostly, making their access streams independent
+// of protocol-induced latencies — the feedback-insensitive workloads the
+// trace replay cross-check asserts bit-identical stats on (ping-pong
+// stays feedback-sensitive regardless: its turn-word spin count depends
+// on timing by design). See docs/PERFORMANCE.md "Capture once, replay
+// many".
+
 struct PingPongParams {
   int rounds = 1000;       ///< Turns per processor.
   int counters = 1;        ///< Migratory counters updated each turn.
   Cycles think_cycles = 40;
+  int sync = 1;            ///< Spin-barrier rendezvous before the loop.
 };
 void build_pingpong(System& sys, const PingPongParams& params);
 
@@ -33,6 +44,7 @@ struct PrivateRmwParams {
   std::uint64_t words_per_proc = 16 * 1024;  ///< 128 kB per processor.
   int sweeps = 4;
   Cycles compute = 2;
+  int sync = 1;  ///< 0 = feedback-insensitive (no spin barrier).
 };
 void build_private_rmw(System& sys, const PrivateRmwParams& params);
 
@@ -41,6 +53,7 @@ struct ReadMostlyParams {
   int rounds = 200;
   int writes_per_round = 4;  ///< Writer updates this many words per round.
   Cycles compute = 4;
+  int sync = 1;  ///< 0 = feedback-insensitive (no spin barrier).
 };
 void build_read_mostly(System& sys, const ReadMostlyParams& params);
 

@@ -123,6 +123,46 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stderr)
         self.assertIn("total serial: 1.00s -> 1.05s (+5.0%)", proc.stdout)
 
+    def test_old_baseline_without_replay_section_still_compares(self):
+        # Baselines captured before the replay_compare section existed
+        # must keep working — the new rows show as "new", nothing gates.
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        new = capture([fig("fig4", 1.0)], total=1.0)
+        new["replay_compare"] = [
+            {"name": "fig3_mp3d", "execute_seconds": 5.0,
+             "replay_seconds": 1.0, "speedup": 5.0, "agree": True}
+        ]
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertIn("fig3_mp3d", proc.stdout)
+        self.assertIn("new", proc.stdout)
+
+    def test_replay_sections_compare_speedups(self):
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        old["replay_compare"] = [
+            {"name": "fig3_mp3d", "execute_seconds": 5.0,
+             "replay_seconds": 2.0, "speedup": 2.5}
+        ]
+        new = capture([fig("fig4", 1.0)], total=1.0)
+        new["replay_compare"] = [
+            {"name": "fig3_mp3d", "execute_seconds": 5.0,
+             "replay_seconds": 1.0, "speedup": 5.0}
+        ]
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("2.50x -> 5.00x", proc.stdout)
+
+    def test_replay_entry_missing_fields_does_not_crash(self):
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        old["replay_compare"] = [{"name": "gone"}]
+        new = capture([fig("fig4", 1.0)], total=1.0)
+        new["replay_compare"] = [{}]
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertIn("removed", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

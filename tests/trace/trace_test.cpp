@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
+#include "trace/config_hash.hpp"
 #include "trace/recorder.hpp"
+#include "trace/replay_compare.hpp"
 #include "workloads/harness.hpp"
 #include "workloads/micro.hpp"
 
@@ -124,6 +127,155 @@ TEST(Trace, EmptyTraceReplaysToNothing) {
   const ReplayResult result = replay_trace(trace, tiny_cfg(), stats);
   EXPECT_EQ(result.accesses, 0u);
   EXPECT_EQ(result.total_cycles, 0u);
+}
+
+TEST(Trace, MetaRoundTrips) {
+  Trace trace;
+  trace.meta().config_hash = 0xdeadbeefcafef00dull;
+  trace.meta().seed = 42;
+  trace.meta().workload = "pingpong";
+  trace.meta().final_gaps = {5, 0, 17, 0};
+  TraceRecord r;
+  r.addr = 64;
+  r.issue_gap = 3;
+  r.wdata = 7;
+  r.expected = 9;
+  r.site = 12;
+  r.node = 300;  // > 255: needs the v2 16-bit node field.
+  trace.append(r);
+  std::stringstream buffer;
+  trace.save(buffer);
+  const Trace loaded = Trace::load(buffer);
+  EXPECT_EQ(trace, loaded);
+  EXPECT_EQ(loaded.meta().workload, "pingpong");
+  EXPECT_EQ(loaded.records()[0].node, 300);
+}
+
+namespace v1 {
+// Little-endian emitters for hand-crafting a legacy version-1 file.
+void put64(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+}  // namespace v1
+
+TEST(Trace, LoadsLegacyVersion1Files) {
+  // A v1 file is magic + u64 count + per record (addr u64, gap u64,
+  // node u8, op u8, size u8, tag u8) — no metadata, no data payloads.
+  std::stringstream buffer;
+  buffer.write("LSTRACE1", 8);
+  v1::put64(buffer, 2);  // record count
+  v1::put64(buffer, 0x40);
+  v1::put64(buffer, 3);
+  v1::put8(buffer, 1);  // node
+  v1::put8(buffer, 0);  // op
+  v1::put8(buffer, 4);  // size
+  v1::put8(buffer, 0);  // tag
+  v1::put64(buffer, 0x80);
+  v1::put64(buffer, 0);
+  v1::put8(buffer, 2);
+  v1::put8(buffer, 1);
+  v1::put8(buffer, 4);
+  v1::put8(buffer, 0);
+
+  const Trace loaded = Trace::load(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.meta().config_hash, 0u);  // v1: compatibility unchecked
+  EXPECT_TRUE(loaded.meta().final_gaps.empty());
+  EXPECT_EQ(loaded.records()[0].addr, 0x40u);
+  EXPECT_EQ(loaded.records()[0].issue_gap, 3u);
+  EXPECT_EQ(loaded.records()[0].node, 1);
+  // v1 records carried no store values; replay substitutes the
+  // historical placeholder 1.
+  EXPECT_EQ(loaded.records()[0].wdata, 1u);
+  EXPECT_EQ(loaded.records()[1].node, 2);
+
+  // A hash-less trace replays against any machine without a config check.
+  Stats stats(4);
+  const ReplayResult result = replay_trace(loaded, tiny_cfg(), stats);
+  EXPECT_EQ(result.accesses, 2u);
+}
+
+TEST(Trace, ConfigHashIgnoresProtocolKnobs) {
+  // Sweeping protocol/directory over one trace is the point of the
+  // engine, so those fields must not participate in the hash.
+  MachineConfig a = tiny_cfg(ProtocolKind::kBaseline);
+  MachineConfig b = tiny_cfg(ProtocolKind::kLs);
+  b.directory_scheme = DirectoryKind::kSparse;
+  b.protocol.default_tagged = true;
+  b.protocol.tag_hysteresis = 2;
+  EXPECT_EQ(trace_config_hash(a), trace_config_hash(b));
+}
+
+TEST(Trace, ConfigHashCoversTimingAndGeometry) {
+  const std::uint64_t base = trace_config_hash(tiny_cfg());
+
+  MachineConfig bigger_l2 = tiny_cfg();
+  bigger_l2.l2.size_bytes *= 2;
+  EXPECT_NE(trace_config_hash(bigger_l2), base);
+
+  MachineConfig slower_hop = tiny_cfg();
+  slower_hop.latency.hop += 1;
+  EXPECT_NE(trace_config_hash(slower_hop), base);
+
+  MachineConfig more_nodes = tiny_cfg();
+  more_nodes.num_nodes = 8;
+  EXPECT_NE(trace_config_hash(more_nodes), base);
+}
+
+TEST(Trace, MismatchListsBothHashes) {
+  Trace trace = record_pingpong();
+  trace.meta().config_hash = trace_config_hash(tiny_cfg());
+  MachineConfig other = tiny_cfg();
+  other.latency.hop += 1;
+  Stats stats(4);
+  try {
+    (void)replay_trace(trace, other, stats);
+    FAIL() << "expected TraceConfigMismatch";
+  } catch (const TraceConfigMismatch& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find(format_config_hash(trace.meta().config_hash)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(format_config_hash(trace_config_hash(other))),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Trace, RecorderComposesWithSecondObserver) {
+  // Attaching an observer after the recorder (or vice versa) must not
+  // silently drop either party's records — set_access_observer used to
+  // replace the previous observer.
+  System sys(tiny_cfg());
+  Trace trace;
+  TraceRecorder recorder(sys, trace);
+  std::uint64_t observed = 0;
+  sys.add_access_observer(
+      [&observed](NodeId, const AccessRequest&, Cycles, Cycles) {
+        ++observed;
+      });
+  build_pingpong(sys, PingPongParams{.rounds = 50, .counters = 2});
+  sys.run();
+  EXPECT_EQ(trace.size(), sys.stats().accesses);
+  EXPECT_EQ(observed, sys.stats().accesses);
+}
+
+TEST(Trace, CaptureRejectsProcessorConsistency) {
+  // PC buffered stores complete after later issues; the unsigned
+  // per-node gap encoding cannot represent that, so capture must refuse
+  // rather than record a corrupt stream.
+  MachineConfig cfg = tiny_cfg();
+  cfg.consistency = ConsistencyModel::kPc;
+  EXPECT_THROW((void)capture_trace(
+                   cfg,
+                   [](System& sys) {
+                     build_pingpong(sys,
+                                    PingPongParams{.rounds = 10});
+                   }),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -96,6 +96,29 @@ def main():
                   f"{old_figs[name].get('serial_seconds', 0.0):>9.3f} "
                   f"{'-':>9} {'-':>8}  removed")
 
+    # Capture-once / replay-many timings (informational, never gated):
+    # per workload, execute-vs-replay wall clock for a full protocol
+    # sweep. Older baselines predate the section; .get() defaults keep
+    # them comparable.
+    old_replay = {e.get("name"): e for e in old_doc.get("replay_compare", [])}
+    new_replay = new_doc.get("replay_compare", [])
+    if new_replay or old_replay:
+        print(f"\n{'replay workload':<24} {'execute s':>9} {'replay s':>9} "
+              f"{'speedup':>8}  vs old")
+        for entry in new_replay:
+            name = entry.get("name", "?")
+            speedup = entry.get("speedup", 0.0)
+            old_entry = old_replay.get(name)
+            old_speedup = (old_entry or {}).get("speedup", 0.0)
+            vs_old = (f"{old_speedup:.2f}x -> {speedup:.2f}x"
+                      if old_entry is not None else "new")
+            print(f"{name:<24} {entry.get('execute_seconds', 0.0):>9.3f} "
+                  f"{entry.get('replay_seconds', 0.0):>9.3f} "
+                  f"{speedup:>7.2f}x  {vs_old}")
+        for name in old_replay:
+            if not any(e.get("name") == name for e in new_replay):
+                print(f"{name:<24} {'-':>9} {'-':>9} {'-':>8}  removed")
+
     # Always print the total summary; an old total of zero (interrupted
     # or synthetic capture) just reports no delta instead of dividing.
     old_total = old_doc.get("serial_seconds", 0.0)

@@ -41,6 +41,9 @@ constexpr const char* kUsage =
     "            --iterations N (default 200)\n"
     "            --length N (default 48)    accesses per trace\n"
     "            --protocol NAME            restrict to one protocol\n"
+    "            --compare                  replay every generated trace\n"
+    "                                       under every protocol (capture\n"
+    "                                       once, replay many)\n"
     "            --no-knobs                 paper-default knobs only\n"
     "            --out DIR                  write shrunk repros there\n"
     "            --heartbeat-out F          progress JSONL (\"-\" = stderr)\n"
@@ -158,6 +161,7 @@ int run_fuzz_mode(std::vector<std::string> args) {
     options.trace_length = static_cast<int>(parse_u64("--length", value));
   }
   options.protocols = parse_protocols(args);
+  options.compare_protocols = take_switch(args, "--compare");
   options.randomize_knobs = !take_switch(args, "--no-knobs");
   std::string out_dir;
   take_value(args, "--out", &out_dir);

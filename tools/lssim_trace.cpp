@@ -6,8 +6,11 @@
 //
 // Recording runs the workload under the given configuration (protocol
 // included — the trace stores the access stream that execution
-// produced). Replay drives a fresh memory system with the stored stream;
-// see src/trace/trace.hpp for the timing-feedback caveats.
+// produced) and stamps the file with a hash of the protocol-insensitive
+// machine configuration. Replay drives a fresh memory system with the
+// stored stream; a machine whose hash differs from the trace's is
+// rejected with exit code 2 (see src/trace/replay_compare.hpp for the
+// timing-feedback caveats).
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -23,33 +26,39 @@ namespace {
 using namespace lssim;
 
 int record_mode(const char* path, const DriverOptions& options) {
-  MachineConfig cfg = options.machine;
-  cfg.protocol.kind = options.protocols.front();
-  System sys(cfg, options.seed);
-  Trace trace;
-  TraceRecorder recorder(sys, trace);
-
   if (!driver_knows_workload(options.workload)) {
     std::fprintf(stderr, "lssim_trace: unknown workload '%s'\n",
                  options.workload.c_str());
     return 2;
   }
+  MachineConfig cfg = options.machine;
+  cfg.protocol.kind = options.protocols.front();
+
+  CapturedTrace captured;
   try {
-    make_driver_builder(options)(sys);
+    captured = capture_trace(cfg, make_driver_builder(options),
+                             options.seed, options.workload);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "lssim_trace: %s\n", ex.what());
     return 1;
   }
-  sys.run();
 
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::fprintf(stderr, "lssim_trace: cannot open %s for writing\n", path);
     return 1;
   }
-  trace.save(out);
-  std::printf("recorded %zu accesses (%s, %s) -> %s\n", trace.size(),
-              options.workload.c_str(), to_string(cfg.protocol.kind), path);
+  captured.trace.save(out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "lssim_trace: failed writing %s\n", path);
+    return 1;
+  }
+  std::printf("recorded %zu accesses (%s, %s, config %s) -> %s\n",
+              captured.trace.size(), options.workload.c_str(),
+              to_string(cfg.protocol.kind),
+              format_config_hash(captured.trace.meta().config_hash).c_str(),
+              path);
   return 0;
 }
 
@@ -67,18 +76,26 @@ int replay_mode(const char* path, const DriverOptions& options) {
     return 1;
   }
 
-  std::printf("%-10s %14s %14s %14s\n", "protocol", "total cycles",
-              "messages", "eliminated");
-  for (ProtocolKind kind : options.protocols) {
-    MachineConfig cfg = options.machine;
-    cfg.protocol.kind = kind;
-    Stats stats(cfg.num_nodes);
-    const ReplayResult result = replay_trace(trace, cfg, stats);
-    std::printf("%-10s %14llu %14llu %14llu\n", to_string(kind),
-                static_cast<unsigned long long>(result.total_cycles),
-                static_cast<unsigned long long>(stats.messages_total()),
-                static_cast<unsigned long long>(
-                    stats.eliminated_acquisitions));
+  MachineConfig base = options.machine;
+  base.protocol.kind = options.protocols.front();
+  try {
+    const ReplayCompareEngine engine(trace, base);
+    std::printf("%-10s %14s %14s %14s\n", "protocol", "exec cycles",
+                "messages", "eliminated");
+    for (ProtocolKind kind : options.protocols) {
+      const RunResult r = engine.replay(kind);
+      std::printf("%-10s %14llu %14llu %14llu\n", to_string(kind),
+                  static_cast<unsigned long long>(r.exec_time),
+                  static_cast<unsigned long long>(r.traffic_total),
+                  static_cast<unsigned long long>(
+                      r.eliminated_acquisitions));
+    }
+  } catch (const TraceConfigMismatch& ex) {
+    std::fprintf(stderr, "lssim_trace: %s\n", ex.what());
+    return 2;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "lssim_trace: %s\n", ex.what());
+    return 1;
   }
   return 0;
 }
