@@ -49,6 +49,28 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// HEAD commit of the working tree the benchmark ran from, for the
+/// baseline's provenance fields ("unknown" outside a git checkout —
+/// tools/bench_compare.py warns when comparing across commits).
+std::string git_commit() {
+  std::string commit = "unknown";
+  if (FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line.size() == 40 &&
+          line.find_first_not_of("0123456789abcdef") == std::string::npos) {
+        commit = line;
+      }
+    }
+    pclose(pipe);
+  }
+  return commit;
+}
+
 /// One independent simulation of the suite.
 struct RunSpec {
   std::string figure;
@@ -430,6 +452,17 @@ int main(int argc, char** argv) {
   Json::Object doc;
   doc.emplace_back("schema_version", Json(std::uint64_t{1}));
   doc.emplace_back("generator", Json("lssim perf_baseline"));
+  // Build/config provenance (pure additions; absent in older captures).
+  // The suite runs the paper's machine: the directory and interconnect
+  // fields record the organisation and transport every entry used.
+  doc.emplace_back("git_commit", Json(git_commit()));
+  {
+    const MachineConfig suite_cfg = MachineConfig::scientific_default();
+    doc.emplace_back("directory",
+                     Json(directory_name(suite_cfg.directory_scheme)));
+    doc.emplace_back("interconnect",
+                     Json(interconnect_name(suite_cfg.interconnect)));
+  }
   doc.emplace_back("quick", Json(quick));
   doc.emplace_back("jobs", Json(jobs));
   // Interpretation key for the speedup number: a 1-core host can only

@@ -18,12 +18,17 @@ namespace lssim {
 
 /// Cache-line coherence state. kLStemp is the paper's extra state: an
 /// exclusive-but-not-yet-written copy delivered to a read of a tagged
-/// block (used by both the LS and the AD technique in this codebase).
+/// block (used by both the LS and the AD technique in this codebase; it
+/// doubles as MESI's Exclusive state — same semantics, different
+/// admission rule). kOwned is the MOESI/Dragon Owned state: a modified
+/// copy that other caches also share; the owner services read misses and
+/// is responsible for the eventual writeback (home memory is stale).
 enum class CacheState : std::uint8_t {
   kInvalid = 0,
   kShared,
   kModified,
   kLStemp,
+  kOwned,
 };
 
 [[nodiscard]] constexpr const char* to_string(CacheState s) noexcept {
@@ -32,6 +37,7 @@ enum class CacheState : std::uint8_t {
     case CacheState::kShared: return "Shared";
     case CacheState::kModified: return "Modified";
     case CacheState::kLStemp: return "LStemp";
+    case CacheState::kOwned: return "Owned";
   }
   return "?";
 }

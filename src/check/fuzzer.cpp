@@ -77,6 +77,17 @@ ReproTrace random_trace(Rng& rng, const FuzzOptions& options,
       trace.machine.directory_entries =
           static_cast<std::uint32_t>(rng.next_range(1, 3));
     }
+    // Sample the transport too: the snooping bus serialises the same
+    // transactions through an arbiter, so every structural invariant
+    // must hold identically there. Timing differs but the checker's
+    // models are timing-independent.
+    const std::uint64_t net_roll = rng.next_below(8);
+    if (net_roll < 2) {
+      trace.machine.interconnect = InterconnectKind::kBus;
+      trace.machine.bus_arbitration = (net_roll == 0)
+                                          ? BusArbitration::kFcfs
+                                          : BusArbitration::kRoundRobin;
+    }
   }
 
   const int num_blocks = static_cast<int>(rng.next_range(1, 4));

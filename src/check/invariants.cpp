@@ -122,6 +122,7 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
     snap.last_reader = e.last_reader;
     int shared_copies = 0;
     int excl_copies = 0;
+    int owned_copies = 0;
 
     for (int n = 0; n < nodes; ++n) {
       const NodeId nid = static_cast<NodeId>(n);
@@ -144,6 +145,13 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
                  "directory lists node " + std::to_string(n) +
                      " as sharer of " + hex(b) + " but its cache misses");
         }
+        if (e.state == DirState::kOwned && !e.imprecise &&
+            (e.owner == nid || dp.may_be_sharer(e, nid))) {
+          record("dir-cache-agreement",
+                 "directory lists node " + std::to_string(n) +
+                     " as owner/sharer of Owned " + hex(b) +
+                     " but its cache misses");
+        }
         continue;
       }
       switch (p.state) {
@@ -151,8 +159,11 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
           ++shared_copies;
           snap.shared.set(nid);
           // Superset rule: a real holder the directory would not
-          // invalidate is a missed invalidation, precise or not.
-          if (e.state != DirState::kShared || !dp.may_be_sharer(e, nid)) {
+          // invalidate is a missed invalidation, precise or not. Under
+          // an Owned entry the sharer word tracks the non-owner copies.
+          if ((e.state != DirState::kShared &&
+               e.state != DirState::kOwned) ||
+              !dp.may_be_sharer(e, nid)) {
             record("dir-cache-agreement",
                    "node " + std::to_string(n) + " holds " + hex(b) +
                        " Shared but directory is " +
@@ -189,6 +200,17 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
                                  hex(b) + " to node " + std::to_string(n));
           }
           break;
+        case CacheState::kOwned:
+          ++owned_copies;
+          snap.owned.set(nid);
+          if (e.state != DirState::kOwned || e.owner != nid) {
+            record("dir-cache-agreement",
+                   "node " + std::to_string(n) + " holds " + hex(b) +
+                       " Owned but directory is " +
+                       std::string(to_string(e.state)) + " with owner " +
+                       std::to_string(static_cast<int>(e.owner)));
+          }
+          break;
         case CacheState::kInvalid:
           break;
       }
@@ -199,11 +221,19 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
                          std::to_string(excl_copies) + " writable and " +
                          std::to_string(shared_copies) + " shared copies");
     }
+    // Ownership relaxes SWMR to single-owner: at most one Owned copy,
+    // never alongside a Modified/LStemp copy (shared copies are fine —
+    // that is the point of the state).
+    if (owned_copies > 1 || (owned_copies == 1 && excl_copies > 0)) {
+      record("swmr", "block " + hex(b) + " has " +
+                         std::to_string(owned_copies) + " Owned and " +
+                         std::to_string(excl_copies) + " writable copies");
+    }
 
     switch (e.state) {
       case DirState::kUncached:
-        if (shared_copies + excl_copies != 0 || e.sharers != 0 ||
-            e.owner != kInvalidNode) {
+        if (shared_copies + excl_copies + owned_copies != 0 ||
+            e.sharers != 0 || e.owner != kInvalidNode) {
           record("dir-cache-agreement",
                  "Uncached block " + hex(b) + " still has copies (" +
                      std::to_string(shared_copies) + " shared, " +
@@ -218,7 +248,8 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
         // above still catch missed invalidations.
         if ((!e.imprecise && (shared_copies != dp.believed_sharers(e).count() ||
                               shared_copies == 0)) ||
-            excl_copies != 0 || e.owner != kInvalidNode) {
+            excl_copies != 0 || owned_copies != 0 ||
+            e.owner != kInvalidNode) {
           record("dir-cache-agreement",
                  "Shared block " + hex(b) + " believes " +
                      std::to_string(dp.believed_sharers(e).count()) +
@@ -231,8 +262,8 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
       case DirState::kDirty:
       case DirState::kExcl:
         if (e.owner == kInvalidNode || static_cast<int>(e.owner) >= nodes ||
-            e.sharers != 0 ||
-            excl_copies != 1 || shared_copies != 0) {
+            e.sharers != 0 || excl_copies != 1 || shared_copies != 0 ||
+            owned_copies != 0) {
           record("dir-cache-agreement",
                  std::string(to_string(e.state)) + " block " + hex(b) +
                      " must have exactly one writable copy at its owner; "
@@ -246,6 +277,26 @@ void InvariantChecker::verify_block(const MemorySystem& ms, Addr b,
                  "Dirty block " + hex(b) + " owner " +
                      std::to_string(static_cast<int>(e.owner)) +
                      " does not hold a Modified copy");
+        }
+        break;
+      case DirState::kOwned:
+        // Exactly one Owned copy at the recorded owner; the sharer word
+        // covers the non-owner shared copies (precisely, unless the
+        // organisation lost precision).
+        if (e.owner == kInvalidNode || static_cast<int>(e.owner) >= nodes ||
+            owned_copies != 1 || excl_copies != 0 ||
+            !snap.owned.test(e.owner) ||
+            (!e.imprecise &&
+             shared_copies != dp.believed_sharers(e).count())) {
+          record("dir-cache-agreement",
+                 "Owned block " + hex(b) + " must have its one Owned copy "
+                     "at owner " +
+                     std::to_string(static_cast<int>(e.owner)) + "; found " +
+                     std::to_string(owned_copies) + " Owned / " +
+                     std::to_string(excl_copies) + " writable / " +
+                     std::to_string(shared_copies) + " shared copies (" +
+                     std::to_string(dp.believed_sharers(e).count()) +
+                     " believed sharers)");
         }
         break;
     }

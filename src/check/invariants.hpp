@@ -119,6 +119,7 @@ class InvariantChecker {
     SharerSet shared;
     SharerSet modified;
     SharerSet lstemp;
+    SharerSet owned;
   };
 
   void record(std::string invariant, std::string detail);

@@ -80,6 +80,8 @@ void save_repro(std::ostream& os, const ReproTrace& trace) {
   os << "directory " << directory_name(m.directory_scheme) << ' '
      << static_cast<int>(m.directory_pointers) << ' ' << m.directory_region
      << ' ' << m.directory_entries << "\n";
+  os << "interconnect " << interconnect_name(m.interconnect) << ' '
+     << to_string(m.bus_arbitration) << "\n";
   for (const ReproAccess& access : trace.accesses) {
     os << to_string(access) << "\n";
   }
@@ -166,6 +168,25 @@ ReproTrace load_repro(std::istream& is) {
       if (ls >> region >> entries) {
         trace.machine.directory_region = static_cast<std::uint16_t>(region);
         trace.machine.directory_entries = entries;
+      }
+    } else if (key == "interconnect") {
+      // "interconnect <name> [<arbitration>]" — optional as a whole so
+      // pre-seam repros still load (they default to the directory
+      // network, the only transport that existed when they were saved).
+      std::string name;
+      ls >> name;
+      InterconnectKind net;
+      if (!interconnect_from_name(name, &net)) {
+        parse_fail(line_no, "unknown interconnect " + name);
+      }
+      trace.machine.interconnect = net;
+      std::string arb;
+      if (ls >> arb) {
+        BusArbitration a;
+        if (!bus_arbitration_from_name(arb, &a)) {
+          parse_fail(line_no, "unknown bus arbitration " + arb);
+        }
+        trace.machine.bus_arbitration = a;
       }
     } else if (key == "access") {
       ReproAccess access;

@@ -70,6 +70,16 @@ enum class TagReason : std::uint8_t {
   return "?";
 }
 
+/// How the home resolves a read miss on a kDirty block
+/// (CoherencePolicy::on_dirty_read).
+///   kWriteback  — the owner writes the block back and downgrades to
+///                 Shared; home memory becomes clean (MESI-family and
+///                 the paper's baseline machine).
+///   kOwnerKeeps — the owner supplies the data cache-to-cache and keeps
+///                 the dirty block in Owned; home memory stays stale
+///                 (MOESI / Dragon).
+enum class DirtyReadResolution : std::uint8_t { kWriteback, kOwnerKeeps };
+
 /// Decision returned by CoherencePolicy::on_global_write.
 struct WriteTagDecision {
   TagAction action = TagAction::kNone;
@@ -133,6 +143,23 @@ class CoherencePolicy {
     (void)writer;
     (void)upgrade;
     return {};
+  }
+
+  /// How a read miss on a kDirty block resolves (see DirtyReadResolution).
+  /// The default reproduces the baseline machine: the owner writes back
+  /// and home memory becomes clean.
+  [[nodiscard]] virtual DirtyReadResolution on_dirty_read(
+      const DirEntry& entry) const {
+    (void)entry;
+    return DirtyReadResolution::kWriteback;
+  }
+
+  /// True for write-update protocols (Dragon): a write to a block with
+  /// remote shared copies pushes the new data to them instead of
+  /// invalidating, and the writer's line lands in Owned rather than
+  /// Modified. The engine caches this once at construction.
+  [[nodiscard]] virtual bool writes_update_sharers() const noexcept {
+    return false;
   }
 
   /// Called when an ownership upgrade sends `count` invalidations to

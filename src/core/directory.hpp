@@ -36,11 +36,16 @@ namespace lssim {
 /// block exclusively after an exclusive read reply; the home learns about
 /// the owning write lazily (the whole point is that the write sends no
 /// message), so kExcl covers both the written and not-yet-written owner.
+/// kOwned (MOESI / Dragon only): `owner` holds a modified copy AND other
+/// caches may hold shared copies — the `sharers` word encodes the
+/// NON-owner sharers. Home memory is stale; the owner services reads and
+/// owes the eventual writeback.
 enum class DirState : std::uint8_t {
   kUncached = 0,
   kShared,
   kDirty,
   kExcl,
+  kOwned,
 };
 
 [[nodiscard]] constexpr const char* to_string(DirState s) noexcept {
@@ -49,6 +54,7 @@ enum class DirState : std::uint8_t {
     case DirState::kShared: return "Shared";
     case DirState::kDirty: return "Dirty";
     case DirState::kExcl: return "Load-Store";
+    case DirState::kOwned: return "Owned";
   }
   return "?";
 }

@@ -1,0 +1,47 @@
+// Dragon policy: the classic write-update protocol. Writes to a block
+// with remote copies push the new data to them (update transactions)
+// instead of invalidating; the writer becomes the Owned supplier and the
+// remote copies stay alive as plain sharers. Because those copies
+// survive, *every* subsequent write while sharers exist is another
+// global update — the traffic Dragon trades for eliminating the
+// re-read misses an invalidate protocol would cause. Cold reads come
+// back Exclusive (Dragon's Exclusive-clean state), so private data
+// still writes locally.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class DragonPolicy final : public CoherencePolicy {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kDragon;
+  }
+
+  [[nodiscard]] bool supports_default_tagged() const noexcept override {
+    return false;
+  }
+
+  /// Exclusive-clean on cold reads, as in MESI.
+  [[nodiscard]] bool read_grants_exclusive(const DirEntry& entry,
+                                           bool predicted) const override {
+    (void)predicted;
+    return entry.state == DirState::kUncached;
+  }
+
+  /// Dirty read misses are serviced cache-to-cache by the owner
+  /// (Dragon's Shared-Modified), exactly like MOESI's Owned.
+  [[nodiscard]] DirtyReadResolution on_dirty_read(
+      const DirEntry& entry) const override {
+    (void)entry;
+    return DirtyReadResolution::kOwnerKeeps;
+  }
+
+  /// The defining Dragon choice: update, don't invalidate.
+  [[nodiscard]] bool writes_update_sharers() const noexcept override {
+    return true;
+  }
+};
+
+}  // namespace lssim

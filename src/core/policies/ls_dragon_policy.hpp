@@ -1,0 +1,57 @@
+// LS+Dragon policy: the paper's load-store tagging (§3.1) composed over
+// Dragon write-update. Untagged blocks follow Dragon — writes update the
+// surviving remote copies and the writer supplies the block from Owned.
+// A tagged block instead migrates exclusively on the next read (the
+// engine purges every other copy), so detected load-store sequences
+// escape the repeated per-write update transactions that pure Dragon
+// pays on migratory data. De-tag evidence under updates is the same
+// §3.1 rule set: foreign accesses hitting an unwritten exclusive copy,
+// and lone writes.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class LsDragonPolicy final : public CoherencePolicy {
+ public:
+  explicit LsDragonPolicy(const ProtocolConfig& config)
+      : keep_tag_on_lone_write_(config.keep_tag_on_lone_write) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kLsDragon;
+  }
+
+  /// LS bit (or prediction) plus Dragon's Exclusive-clean cold reads.
+  [[nodiscard]] bool read_grants_exclusive(const DirEntry& entry,
+                                           bool predicted) const override {
+    return entry.tagged || predicted || entry.state == DirState::kUncached;
+  }
+
+  /// Paper §3.1 tag rules, as in LsPolicy.
+  WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
+                                   bool upgrade) override {
+    if (entry.last_reader == writer) {
+      return {TagAction::kTag, false, TagReason::kLsSequence};
+    }
+    if (!upgrade && !keep_tag_on_lone_write_) {
+      return {TagAction::kDetag, true, TagReason::kLoneWrite};
+    }
+    return {};
+  }
+
+  [[nodiscard]] DirtyReadResolution on_dirty_read(
+      const DirEntry& entry) const override {
+    (void)entry;
+    return DirtyReadResolution::kOwnerKeeps;
+  }
+
+  [[nodiscard]] bool writes_update_sharers() const noexcept override {
+    return true;
+  }
+
+ private:
+  bool keep_tag_on_lone_write_;
+};
+
+}  // namespace lssim

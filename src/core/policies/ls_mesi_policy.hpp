@@ -1,0 +1,44 @@
+// LS+MESI policy: the paper's load-store tagging (§3.1) composed over a
+// MESI base. Reads return Exclusive copies when the block is tagged OR
+// uncached (the Illinois cold-read rule), so load-store sequences on
+// shared data are optimised by the LS bit while private data keeps
+// MESI's silent first store. Tag rules are exactly LsPolicy's.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class LsMesiPolicy final : public CoherencePolicy {
+ public:
+  explicit LsMesiPolicy(const ProtocolConfig& config)
+      : keep_tag_on_lone_write_(config.keep_tag_on_lone_write) {}
+
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kLsMesi;
+  }
+
+  /// LS bit (or requester-side prediction) as usual, plus the Illinois
+  /// cold-read rule.
+  [[nodiscard]] bool read_grants_exclusive(const DirEntry& entry,
+                                           bool predicted) const override {
+    return entry.tagged || predicted || entry.state == DirState::kUncached;
+  }
+
+  /// Paper §3.1 tag rules, as in LsPolicy.
+  WriteTagDecision on_global_write(const DirEntry& entry, NodeId writer,
+                                   bool upgrade) override {
+    if (entry.last_reader == writer) {
+      return {TagAction::kTag, false, TagReason::kLsSequence};
+    }
+    if (!upgrade && !keep_tag_on_lone_write_) {
+      return {TagAction::kDetag, true, TagReason::kLoneWrite};
+    }
+    return {};
+  }
+
+ private:
+  bool keep_tag_on_lone_write_;
+};
+
+}  // namespace lssim

@@ -1,0 +1,33 @@
+// MESI (Illinois) policy: the classic four-state invalidate protocol
+// expressed through the policy seam. A cold read of an uncached block
+// returns an Exclusive copy (the engine's LStemp state — exclusive, not
+// yet written), so the first store completes silently without a global
+// ownership transaction. MESI never tags blocks: exclusivity comes from
+// the directory state alone, so the §5.5 default_tagged knob does not
+// apply and read-on-shared misses stay plain shared fills.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class MesiPolicy final : public CoherencePolicy {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kMesi;
+  }
+
+  [[nodiscard]] bool supports_default_tagged() const noexcept override {
+    return false;
+  }
+
+  /// Illinois rule: a read miss that finds no other cached copy is
+  /// granted Exclusive, regardless of any tag/prediction machinery.
+  [[nodiscard]] bool read_grants_exclusive(const DirEntry& entry,
+                                           bool predicted) const override {
+    (void)predicted;
+    return entry.state == DirState::kUncached;
+  }
+};
+
+}  // namespace lssim

@@ -1,0 +1,38 @@
+// MOESI policy: MESI plus an Owned state. A read miss that finds the
+// block dirty in a remote cache is serviced cache-to-cache: the owner
+// keeps its (stale-at-home) copy in Owned and supplies the data in a
+// 3-hop transfer, skipping the baseline's 4-hop writeback-through-home
+// sequence. Writes still invalidate every other copy.
+#pragma once
+
+#include "core/coherence_policy.hpp"
+
+namespace lssim {
+
+class MoesiPolicy final : public CoherencePolicy {
+ public:
+  [[nodiscard]] ProtocolKind kind() const noexcept override {
+    return ProtocolKind::kMoesi;
+  }
+
+  [[nodiscard]] bool supports_default_tagged() const noexcept override {
+    return false;
+  }
+
+  /// Illinois rule, as in MESI: cold reads come back Exclusive.
+  [[nodiscard]] bool read_grants_exclusive(const DirEntry& entry,
+                                           bool predicted) const override {
+    (void)predicted;
+    return entry.state == DirState::kUncached;
+  }
+
+  /// The O of MOESI: the dirty owner services the miss and keeps the
+  /// block; home memory stays stale until the Owned copy is evicted.
+  [[nodiscard]] DirtyReadResolution on_dirty_read(
+      const DirEntry& entry) const override {
+    (void)entry;
+    return DirtyReadResolution::kOwnerKeeps;
+  }
+};
+
+}  // namespace lssim

@@ -21,8 +21,9 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
       policy_observes_accesses_(policy_->observes_accesses()),
       dirpol_(make_directory_policy(config)),
       dir_entry_limit_(dirpol_->max_entries()),
-      net_(config.num_nodes, config.latency, stats, config.topology,
-           telemetry != nullptr ? telemetry->metrics() : nullptr),
+      net_(make_interconnect(
+          config, stats,
+          telemetry != nullptr ? telemetry->metrics() : nullptr)),
       dir_(config.protocol.default_tagged &&
            policy_->supports_default_tagged()),
       fs_(config.classify_false_sharing, stats),
@@ -32,6 +33,9 @@ MemorySystem::MemorySystem(const MachineConfig& config, AddressSpace& space,
       trace_(telemetry != nullptr ? telemetry->trace() : nullptr),
       audit_(telemetry != nullptr ? telemetry->audit() : nullptr) {
   assert(config.validate().empty());
+  snoops_ = net_->snoops();
+  update_mode_ = policy_->writes_update_sharers();
+  trust_updates_ = config.protocol.trust_update_sharers;
   fs_enabled_ = config.classify_false_sharing;
   l1_fast_hit_ = !fs_enabled_ && config.l2.assoc == 1;
   l1_lru_live_ = config.l1.assoc > 1;
@@ -77,7 +81,7 @@ MemorySystem::~MemorySystem() = default;
 Cycles MemorySystem::leg(NodeId src, NodeId dst, MsgType type, Cycles t) {
   t += lat_.controller;  // Egress through the sender's controller.
   if (src != dst) {
-    t = net_.send(src, dst, type, t);
+    t = net_->send(src, dst, type, t);
     t += lat_.controller;  // Ingress at the receiver.
   }
   return t;
@@ -86,7 +90,7 @@ Cycles MemorySystem::leg(NodeId src, NodeId dst, MsgType type, Cycles t) {
 Cycles MemorySystem::leg_noegress(NodeId src, NodeId dst, MsgType type,
                                   Cycles t) {
   if (src != dst) {
-    t = net_.send(src, dst, type, t);
+    t = net_->send(src, dst, type, t);
     t += lat_.controller;
   }
   return t;
@@ -196,7 +200,7 @@ void MemorySystem::apply_tag_action(TagAction action, DirEntry& entry,
 HomeStateAtMiss MemorySystem::classify_home_state(Addr block,
                                                   const DirEntry& e) const {
   bool home_valid = true;
-  if (e.state == DirState::kDirty) {
+  if (e.state == DirState::kDirty || e.state == DirState::kOwned) {
     home_valid = false;
   } else if (e.state == DirState::kExcl) {
     const ProbeResult owner = caches_[e.owner].probe(block);
@@ -235,15 +239,19 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
                    TagReason::kReplacement, block, node);
   switch (victim.state) {
     case CacheState::kShared:
-      assert(e.state == DirState::kShared && dirpol_->may_be_sharer(e, node));
+      assert((e.state == DirState::kShared || e.state == DirState::kOwned) &&
+             dirpol_->may_be_sharer(e, node));
       dirpol_->remove_sharer(e, node);
-      if (dirpol_->believed_empty(e)) {
+      // An Owned entry stays Owned with an empty sharer set: the owner
+      // still holds the dirty copy, and its next write collapses the
+      // entry to Dirty (zero-target upgrade).
+      if (e.state == DirState::kShared && dirpol_->believed_empty(e)) {
         e.state = DirState::kUncached;
         dirpol_->clear_sharers(e);
       }
       count_event(node, ProtoEventKind::kReplHint);
       if (home != node) {
-        net_.send(node, home, MsgType::kReplHint, t);
+        net_->send(node, home, MsgType::kReplHint, t);
       }
       break;
     case CacheState::kModified:
@@ -255,7 +263,7 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
       e.state = DirState::kUncached;
       e.owner = kInvalidNode;
       if (home != node) {
-        net_.send(node, home, MsgType::kWritebackData, t);
+        net_->send(node, home, MsgType::kWritebackData, t);
       }
       break;
     case CacheState::kLStemp:
@@ -268,7 +276,26 @@ void MemorySystem::handle_l2_victim(NodeId node, const CacheLine& victim,
       e.owner = kInvalidNode;
       count_event(node, ProtoEventKind::kReplHint);
       if (home != node) {
-        net_.send(node, home, MsgType::kReplHint, t);
+        net_->send(node, home, MsgType::kReplHint, t);
+      }
+      break;
+    case CacheState::kOwned:
+      // The owner evicts its dirty copy while other caches still share
+      // the block: the writeback makes home memory clean again, and the
+      // entry downgrades to plain Shared over the surviving sharers.
+      log_.record(t, ProtoEventKind::kWriteback, block, node, e.state,
+                  e.tagged);
+      count_event(node, ProtoEventKind::kWriteback);
+      assert(e.state == DirState::kOwned && e.owner == node);
+      e.owner = kInvalidNode;
+      if (dirpol_->believed_empty(e)) {
+        e.state = DirState::kUncached;
+        dirpol_->clear_sharers(e);
+      } else {
+        e.state = DirState::kShared;
+      }
+      if (home != node) {
+        net_->send(node, home, MsgType::kWritebackData, t);
       }
       break;
     case CacheState::kInvalid:
@@ -326,6 +353,25 @@ void MemorySystem::evict_directory_entry(Addr incoming, Cycles now) {
         assert(op.state == CacheState::kModified);
         leg(owner, home, MsgType::kWritebackData, now);
       }
+      invalidate_cached_copy(owner, victim);
+      break;
+    }
+    case DirState::kOwned: {
+      // Sharers give up their clean copies; the owner's dirty copy is
+      // written back so the block can live without a directory entry.
+      const NodeId owner = e.owner;
+      assert(owner != kInvalidNode);
+      dirpol_->believed_sharers(e).for_each([&](NodeId s) {
+        if (!caches_[s].probe(victim).l2_hit) {
+          return;
+        }
+        leg(home, s, MsgType::kInval, now);
+        invalidate_cached_copy(s, victim);
+        leg(s, home, MsgType::kInvalAck, now);
+      });
+      assert(caches_[owner].probe(victim).state == CacheState::kOwned);
+      leg(home, owner, MsgType::kInval, now);
+      leg(owner, home, MsgType::kWritebackData, now);
       invalidate_cached_copy(owner, victim);
       break;
     }
@@ -389,7 +435,11 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
       CacheHierarchy& oc = caches_[owner];
       const ProbeResult op = oc.probe(block);
       assert(op.l2_hit);
-      t = leg(home, owner, MsgType::kReadFwd, t);
+      if (!snoops_) {
+        // On a snooping transport the owner saw the request broadcast;
+        // no directed forward is needed.
+        t = leg(home, owner, MsgType::kReadFwd, t);
+      }
       if (op.state == CacheState::kLStemp) {
         // Paper §3.1 case 2: foreign read before the owning write.
         // Owner's copy downgrades to Shared; home de-tags via NotLS (and
@@ -420,8 +470,15 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
           // Tagged + dirty: migrate an exclusive copy to the reader; the
           // home memory is updated in passing so LStemp stays clean.
           invalidate_cached_copy(owner, block);
-          t = leg_noegress(owner, home, MsgType::kSharingWb, t);
-          t += lat_.memory;
+          if (snoops_) {
+            // Cache-to-cache supply: memory snarfs the bus transfer.
+            t = leg_noegress(owner, node, MsgType::kDataExclRead, t);
+          } else {
+            t = leg_noegress(owner, home, MsgType::kSharingWb, t);
+            t += lat_.memory;
+            t = leg(home, node, MsgType::kDataExclRead, t);
+          }
+          t += lat_.fill;
           e.state = DirState::kExcl;
           e.owner = node;
           dirpol_->clear_sharers(e);
@@ -431,21 +488,91 @@ Cycles MemorySystem::do_read_miss(NodeId node, Addr block, Cycles now,
                       e.tagged);
           count_event(node, ProtoEventKind::kMigrate);
           trace_instant(node, ProtoEventKind::kMigrate, block, now);
-          t = leg(home, node, MsgType::kDataExclRead, t);
+        } else if (policy_->on_dirty_read(e) ==
+                   DirtyReadResolution::kOwnerKeeps) {
+          // MOESI / Dragon: the owner keeps the dirty block (Owned) and
+          // supplies the data cache-to-cache; home memory stays stale.
+          oc.set_state(block, CacheState::kOwned);
+          e.state = DirState::kOwned;
+          dirpol_->clear_sharers(e);
+          dirpol_->add_sharer(e, node);
+          t = leg_noegress(owner, node, MsgType::kDataShared, t);
           t += lat_.fill;
         } else {
           // Plain read-on-dirty: 4 network hops (paper §4.2).
           oc.set_state(block, CacheState::kShared);
-          t = leg_noegress(owner, home, MsgType::kSharingWb, t);
-          t += lat_.memory;
+          if (snoops_) {
+            // The writeback and the reader's copy are one bus transfer.
+            t = leg_noegress(owner, home, MsgType::kSharingWb, t);
+          } else {
+            t = leg_noegress(owner, home, MsgType::kSharingWb, t);
+            t += lat_.memory;
+            t = leg(home, node, MsgType::kDataShared, t);
+          }
+          t += lat_.fill;
           e.state = DirState::kShared;
           dirpol_->clear_sharers(e);
           dirpol_->add_sharer(e, owner);
           dirpol_->add_sharer(e, node);
           e.owner = kInvalidNode;
-          t = leg(home, node, MsgType::kDataShared, t);
-          t += lat_.fill;
         }
+      }
+      break;
+    }
+    case DirState::kOwned: {
+      // MOESI / Dragon: the Owned copy services the miss cache-to-cache
+      // (3-hop: requester -> home -> owner -> requester). Under an LS
+      // hybrid a tagged block instead migrates exclusively, purging every
+      // other copy.
+      const NodeId owner = e.owner;
+      assert(owner != node && owner != kInvalidNode);
+      assert(caches_[owner].probe(block).state == CacheState::kOwned);
+      if (!snoops_) {
+        t = leg(home, owner, MsgType::kReadFwd, t);
+      }
+      t += lat_.l2_readout;
+      if (want_exclusive) {
+        const SharerSet targets = dirpol_->invalidation_targets(e, node);
+        stats_.invalidations_sent +=
+            static_cast<std::uint64_t>(targets.count());
+        Cycles acks = t;
+        Cycles issue = t;
+        targets.for_each([&](NodeId s) {
+          if (caches_[s].probe(block).l2_hit) {
+            invalidate_cached_copy(s, block);
+          }
+          if (snoops_) {
+            return;
+          }
+          Cycles a = leg(home, s, MsgType::kInval, issue);
+          a += lat_.l2_access;
+          a = leg(s, node, MsgType::kInvalAck, a);
+          acks = std::max(acks, a);
+          issue += lat_.controller;
+        });
+        invalidate_cached_copy(owner, block);
+        if (snoops_) {
+          t = leg_noegress(owner, node, MsgType::kDataExclRead, t);
+        } else {
+          t = leg_noegress(owner, home, MsgType::kSharingWb, t);
+          t += lat_.memory;
+          t = leg(home, node, MsgType::kDataExclRead, t);
+          t = std::max(t, acks);
+        }
+        t += lat_.fill;
+        e.state = DirState::kExcl;
+        e.owner = node;
+        dirpol_->clear_sharers(e);
+        fill_state = CacheState::kLStemp;
+        stats_.exclusive_read_replies += 1;
+        log_.record(now, ProtoEventKind::kMigrate, block, node, e.state,
+                    e.tagged);
+        count_event(node, ProtoEventKind::kMigrate);
+        trace_instant(node, ProtoEventKind::kMigrate, block, now);
+      } else {
+        t = leg_noegress(owner, node, MsgType::kDataShared, t);
+        t += lat_.fill;
+        dirpol_->add_sharer(e, node);
       }
       break;
     }
@@ -496,44 +623,100 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
 
   if (upgrade) {
     // Paper Fig 5: "Global Inv's" are ownership acquisitions — global
-    // write actions to a block that is Shared in the local cache.
+    // write actions to a block that is Shared (or Owned) in the local
+    // cache.
     stats_.ownership_acquisitions += 1;
     log_.record(now, ProtoEventKind::kUpgrade, block, node, e.state,
                 e.tagged);
     count_event(node, ProtoEventKind::kUpgrade);
-    assert(e.state == DirState::kShared && dirpol_->may_be_sharer(e, node));
+    assert((e.state == DirState::kShared &&
+            dirpol_->may_be_sharer(e, node)) ||
+           (e.state == DirState::kOwned &&
+            (e.owner == node || dirpol_->may_be_sharer(e, node))));
     completion = leg(home, node, MsgType::kOwnAck, t_dir);
 
-    // The organisation resolves who must be invalidated: the exact
-    // sharer set under full-map, a broadcast after Dir_iB overflow,
-    // whole regions under coarse vectors. Every target receives an
-    // invalidation (and acknowledges), cached copy or not.
-    const SharerSet targets = dirpol_->invalidation_targets(e, node);
-    const int count = targets.count();
-    // AD-style de-detection: a write invalidating several copies is
-    // evidence the block is read-shared, not migratory.
-    apply_tag_action(policy_->on_upgrade_invalidations(e, count), e,
-                     TagReason::kUpgradeInvalidations, block, node);
-    stats_.invalidations_sent += static_cast<std::uint64_t>(count);
-    if (count == 1) {
-      stats_.single_invalidations += 1;
+    // The organisation resolves who must be invalidated (or updated):
+    // the exact sharer set under full-map, a broadcast after Dir_iB
+    // overflow, whole regions under coarse vectors. A previous Owned
+    // owner is a target too — it is not in the sharer word.
+    SharerSet targets = dirpol_->invalidation_targets(e, node);
+    if (e.state == DirState::kOwned && e.owner != node) {
+      targets.set(e.owner);
     }
-    Cycles issue = t_dir;
-    targets.for_each([&](NodeId s) {
-      Cycles a = leg(home, s, MsgType::kInval, issue);
-      a += lat_.l2_access;
-      if (caches_[s].probe(block).l2_hit) {
-        invalidate_cached_copy(s, block);
+    const int count = targets.count();
+    if (update_mode_ && count > 0) {
+      // Dragon write-update: push the new data to every remote copy
+      // instead of invalidating it. The writer becomes the Owned
+      // supplier; a previous owner downgrades to a plain (updated)
+      // sharer. Every write while copies survive repeats this global
+      // update transaction — the cost the protocol trades for the
+      // eliminated re-read misses.
+      stats_.update_transactions += 1;
+      stats_.updates_sent += static_cast<std::uint64_t>(count);
+      // Only targets that still hold a copy survive as sharers: an
+      // update reaching a cache that silently evicted the block (or an
+      // imprecise believed set covering non-holders) updates nothing.
+      SharerSet survivors;
+      Cycles issue = t_dir;
+      targets.for_each([&](NodeId s) {
+        const ProbeResult sp = caches_[s].probe(block);
+        if (sp.l2_hit || trust_updates_) {
+          survivors.set(s);
+        }
+        if (sp.l2_hit && sp.state == CacheState::kOwned) {
+          caches_[s].set_state(block, CacheState::kShared);
+        }
+        if (snoops_) {
+          return;  // The bus write broadcast updated every snooper.
+        }
+        Cycles a = leg(home, s, MsgType::kUpdate, issue);
+        a += lat_.l2_access;
+        a = leg(s, node, MsgType::kUpdateAck, a);
+        completion = std::max(completion, a);
+        issue += lat_.controller;  // Updates issue serially, like invals.
+      });
+      e.state = DirState::kOwned;
+      e.owner = node;
+      dirpol_->clear_sharers(e);
+      survivors.for_each([&](NodeId s) { dirpol_->add_sharer(e, s); });
+      caches_[node].set_state(block, CacheState::kOwned);
+    } else {
+      // AD-style de-detection: a write invalidating several copies is
+      // evidence the block is read-shared, not migratory.
+      apply_tag_action(policy_->on_upgrade_invalidations(e, count), e,
+                       TagReason::kUpgradeInvalidations, block, node);
+      stats_.invalidations_sent += static_cast<std::uint64_t>(count);
+      if (count == 1) {
+        stats_.single_invalidations += 1;
       }
-      a = leg(s, node, MsgType::kInvalAck, a);
-      completion = std::max(completion, a);
-      issue += lat_.controller;  // Directory issues invalidations serially.
-    });
-    e.state = DirState::kDirty;
-    e.owner = node;
-    dirpol_->clear_sharers(e);
-    caches_[node].set_state(block, CacheState::kModified);
+      Cycles issue = t_dir;
+      targets.for_each([&](NodeId s) {
+        if (snoops_) {
+          // Snoop-invalidate: the request broadcast reached every cache.
+          if (caches_[s].probe(block).l2_hit) {
+            invalidate_cached_copy(s, block);
+          }
+          return;
+        }
+        Cycles a = leg(home, s, MsgType::kInval, issue);
+        a += lat_.l2_access;
+        if (caches_[s].probe(block).l2_hit) {
+          invalidate_cached_copy(s, block);
+        }
+        a = leg(s, node, MsgType::kInvalAck, a);
+        completion = std::max(completion, a);
+        issue += lat_.controller;  // Directory issues invalidations serially.
+      });
+      e.state = DirState::kDirty;
+      e.owner = node;
+      dirpol_->clear_sharers(e);
+      caches_[node].set_state(block, CacheState::kModified);
+    }
   } else {
+    CacheState fill_state = CacheState::kModified;
+    // Update-mode transactions leave remote copies alive: the writer
+    // then fills Owned over these surviving sharers.
+    SharerSet survivors;
     switch (e.state) {
       case DirState::kUncached: {
         completion = leg(home, node, MsgType::kDataExclWrite, t_dir);
@@ -543,24 +726,51 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
       case DirState::kShared: {
         const SharerSet targets = dirpol_->invalidation_targets(e, node);
         const int count = targets.count();
-        stats_.invalidations_sent += static_cast<std::uint64_t>(count);
-        if (count == 1) {
-          stats_.single_invalidations += 1;
-        }
         Cycles data = leg(home, node, MsgType::kDataExclWrite, t_dir);
         data += lat_.fill;
         completion = data;
         Cycles issue = t_dir;
-        targets.for_each([&](NodeId s) {
-          Cycles a = leg(home, s, MsgType::kInval, issue);
-          a += lat_.l2_access;
-          if (caches_[s].probe(block).l2_hit) {
-            invalidate_cached_copy(s, block);
+        if (update_mode_ && count > 0) {
+          // Dragon: the remote copies are updated, not invalidated. Only
+          // targets that still hold a copy survive as sharers.
+          stats_.update_transactions += 1;
+          stats_.updates_sent += static_cast<std::uint64_t>(count);
+          targets.for_each([&](NodeId s) {
+            if (caches_[s].probe(block).l2_hit || trust_updates_) {
+              survivors.set(s);
+            }
+            if (snoops_) {
+              return;  // The bus write broadcast updated every snooper.
+            }
+            Cycles a = leg(home, s, MsgType::kUpdate, issue);
+            a += lat_.l2_access;
+            a = leg(s, node, MsgType::kUpdateAck, a);
+            completion = std::max(completion, a);
+            issue += lat_.controller;
+          });
+          fill_state = CacheState::kOwned;
+        } else {
+          stats_.invalidations_sent += static_cast<std::uint64_t>(count);
+          if (count == 1) {
+            stats_.single_invalidations += 1;
           }
-          a = leg(s, node, MsgType::kInvalAck, a);
-          completion = std::max(completion, a);
-          issue += lat_.controller;
-        });
+          targets.for_each([&](NodeId s) {
+            if (snoops_) {
+              if (caches_[s].probe(block).l2_hit) {
+                invalidate_cached_copy(s, block);
+              }
+              return;
+            }
+            Cycles a = leg(home, s, MsgType::kInval, issue);
+            a += lat_.l2_access;
+            if (caches_[s].probe(block).l2_hit) {
+              invalidate_cached_copy(s, block);
+            }
+            a = leg(s, node, MsgType::kInvalAck, a);
+            completion = std::max(completion, a);
+            issue += lat_.controller;
+          });
+        }
         break;
       }
       case DirState::kDirty:
@@ -569,7 +779,10 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
         assert(owner != node && owner != kInvalidNode);
         const ProbeResult op = caches_[owner].probe(block);
         assert(op.l2_hit);
-        Cycles t2 = leg(home, owner, MsgType::kWriteFwd, t_dir);
+        Cycles t2 = t_dir;
+        if (!snoops_) {
+          t2 = leg(home, owner, MsgType::kWriteFwd, t2);
+        }
         if (op.state == CacheState::kLStemp) {
           // Paper §3.1 case 2 (foreign write): de-tag, unless the lone-
           // write rule above already consumed this event.
@@ -584,19 +797,104 @@ Cycles MemorySystem::do_write_global(NodeId node, Addr block, Cycles now,
           assert(op.state == CacheState::kModified);
           t2 += lat_.l2_readout;
         }
-        invalidate_cached_copy(owner, block);
-        t2 = leg_noegress(owner, home, MsgType::kOwnerXferAck, t2);
-        t2 += lat_.memory;
-        t2 = leg(home, node, MsgType::kDataExclWrite, t2);
+        if (update_mode_) {
+          // Dragon: the previous holder keeps an updated shared copy.
+          stats_.update_transactions += 1;
+          stats_.updates_sent += 1;
+          caches_[owner].set_state(block, CacheState::kShared);
+          fill_state = CacheState::kOwned;
+          survivors.set(owner);
+        } else {
+          invalidate_cached_copy(owner, block);
+        }
+        if (snoops_) {
+          // Cache-to-cache supply; memory snarfs the bus transfer.
+          t2 = leg_noegress(owner, node, MsgType::kDataExclWrite, t2);
+        } else {
+          t2 = leg_noegress(owner, home, MsgType::kOwnerXferAck, t2);
+          t2 += lat_.memory;
+          t2 = leg(home, node, MsgType::kDataExclWrite, t2);
+        }
         t2 += lat_.fill;
         completion = t2;
         break;
       }
+      case DirState::kOwned: {
+        const NodeId owner = e.owner;
+        assert(owner != node && owner != kInvalidNode);
+        assert(caches_[owner].probe(block).state == CacheState::kOwned);
+        const SharerSet targets = dirpol_->invalidation_targets(e, node);
+        Cycles t2 = t_dir;
+        if (!snoops_) {
+          t2 = leg(home, owner, MsgType::kWriteFwd, t2);
+        }
+        t2 += lat_.l2_readout;
+        Cycles acks = t_dir;
+        Cycles issue = t_dir;
+        if (update_mode_) {
+          stats_.update_transactions += 1;
+          stats_.updates_sent +=
+              static_cast<std::uint64_t>(targets.count() + 1);
+          caches_[owner].set_state(block, CacheState::kShared);
+          targets.for_each([&](NodeId s) {
+            if (caches_[s].probe(block).l2_hit || trust_updates_) {
+              survivors.set(s);
+            }
+            if (snoops_) {
+              return;
+            }
+            Cycles a = leg(home, s, MsgType::kUpdate, issue);
+            a += lat_.l2_access;
+            a = leg(s, node, MsgType::kUpdateAck, a);
+            acks = std::max(acks, a);
+            issue += lat_.controller;
+          });
+          fill_state = CacheState::kOwned;
+          survivors.set(owner);
+        } else {
+          const int count = targets.count();
+          stats_.invalidations_sent += static_cast<std::uint64_t>(count);
+          if (count == 1) {
+            stats_.single_invalidations += 1;
+          }
+          targets.for_each([&](NodeId s) {
+            if (caches_[s].probe(block).l2_hit) {
+              invalidate_cached_copy(s, block);
+            }
+            if (snoops_) {
+              return;
+            }
+            Cycles a = leg(home, s, MsgType::kInval, issue);
+            a += lat_.l2_access;
+            a = leg(s, node, MsgType::kInvalAck, a);
+            acks = std::max(acks, a);
+            issue += lat_.controller;
+          });
+          invalidate_cached_copy(owner, block);
+        }
+        if (snoops_) {
+          t2 = leg_noegress(owner, node, MsgType::kDataExclWrite, t2);
+        } else {
+          t2 = leg_noegress(owner, home, MsgType::kOwnerXferAck, t2);
+          t2 += lat_.memory;
+          t2 = leg(home, node, MsgType::kDataExclWrite, t2);
+        }
+        t2 += lat_.fill;
+        completion = std::max(t2, acks);
+        break;
+      }
     }
-    e.state = DirState::kDirty;
-    e.owner = node;
-    dirpol_->clear_sharers(e);
-    const CacheLine victim = caches_[node].fill(block, CacheState::kModified);
+    if (fill_state == CacheState::kOwned) {
+      e.state = DirState::kOwned;
+      e.owner = node;
+      dirpol_->clear_sharers(e);
+      survivors.for_each([&](NodeId s) { dirpol_->add_sharer(e, s); });
+    } else {
+      e.state = DirState::kDirty;
+      e.owner = node;
+      dirpol_->clear_sharers(e);
+    }
+    const CacheLine victim = caches_[node].fill(block, fill_state);
     handle_l2_victim(node, victim, completion);
     fs_.on_fill(node, block, *caches_[node].l2().find(block));
   }
@@ -632,7 +930,9 @@ AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
   // LStemp conversion, checker — matches the general path exactly.
   if (l1_fast_hit_) {
     CacheLine* line1 = ch.l1().find(block);
-    if (line1 != nullptr && (!is_write || line1->state != CacheState::kShared)) {
+    if (line1 != nullptr &&
+        (!is_write || line1->state == CacheState::kModified ||
+         line1->state == CacheState::kLStemp)) {
       result.l1_hit = true;
       result.l2_hit = true;
       result.latency = lat_.l1_access;
@@ -701,8 +1001,10 @@ AccessResult MemorySystem::access(NodeId node, const AccessRequest& req,
     current_node_ = node;
     current_block_ = block;
     if (lines.l2 != nullptr) {
-      // Write on a Shared line: ownership upgrade.
-      assert(lines.l2->state == CacheState::kShared);
+      // Write on a Shared (or update-protocol Owned) line: ownership
+      // upgrade.
+      assert(lines.l2->state == CacheState::kShared ||
+             lines.l2->state == CacheState::kOwned);
       result.l2_hit = true;
       result.global = true;
       result.latency =
@@ -771,6 +1073,7 @@ bool MemorySystem::check_coherence_invariants() const {
   dir_.for_each([&](Addr block, const DirEntry& e) {
     int shared_copies = 0;
     int excl_copies = 0;
+    int owned_copies = 0;
     for (std::size_t n = 0; n < caches_.size(); ++n) {
       const NodeId id = static_cast<NodeId>(n);
       const ProbeResult p = caches_[n].probe(block);
@@ -781,14 +1084,21 @@ bool MemorySystem::check_coherence_invariants() const {
         if (e.state == DirState::kShared && !e.imprecise &&
             dirpol_->may_be_sharer(e, id))
           ok = false;
+        if (e.state == DirState::kOwned && !e.imprecise &&
+            (e.owner == id || dirpol_->may_be_sharer(e, id)))
+          ok = false;
         continue;
       }
       switch (p.state) {
         case CacheState::kShared:
           ++shared_copies;
-          // Superset rule: a real holder must always be believed.
-          if (e.state != DirState::kShared || !dirpol_->may_be_sharer(e, id))
+          // Superset rule: a real holder must always be believed. Under
+          // kOwned the sharer word tracks the non-owner copies.
+          if (e.state == DirState::kShared || e.state == DirState::kOwned) {
+            if (!dirpol_->may_be_sharer(e, id)) ok = false;
+          } else {
             ok = false;
+          }
           break;
         case CacheState::kModified:
           ++excl_copies;
@@ -800,16 +1110,32 @@ bool MemorySystem::check_coherence_invariants() const {
           ++excl_copies;
           if (e.state != DirState::kExcl || e.owner != id) ok = false;
           break;
+        case CacheState::kOwned:
+          ++owned_copies;
+          if (e.state != DirState::kOwned || e.owner != id) ok = false;
+          break;
         case CacheState::kInvalid:
           break;
       }
     }
     if (excl_copies > 1 || (excl_copies == 1 && shared_copies > 0)) ok = false;
+    // SWMR relaxation under ownership: at most one Owned copy, never
+    // alongside a Modified/LStemp copy.
+    if (owned_copies > 1 || (owned_copies == 1 && excl_copies > 0)) ok = false;
     if (e.state == DirState::kShared && !e.imprecise &&
         shared_copies != dirpol_->believed_sharers(e).count())
       ok = false;
     if ((e.state == DirState::kDirty || e.state == DirState::kExcl) &&
-        excl_copies != 1)
+        (excl_copies != 1 || owned_copies != 0))
+      ok = false;
+    if (e.state == DirState::kOwned) {
+      if (owned_copies != 1 || excl_copies != 0) ok = false;
+      if (!e.imprecise &&
+          shared_copies != dirpol_->believed_sharers(e).count())
+        ok = false;
+    }
+    if ((e.state == DirState::kShared || e.state == DirState::kUncached) &&
+        owned_copies != 0)
       ok = false;
     if (e.state == DirState::kUncached && (shared_copies + excl_copies) != 0)
       ok = false;

@@ -29,7 +29,7 @@
 #include "core/directory.hpp"
 #include "core/directory_policy.hpp"
 #include "mem/address_space.hpp"
-#include "net/network.hpp"
+#include "net/interconnect.hpp"
 #include "sim/config.hpp"
 #include "sim/types.hpp"
 #include "core/event_log.hpp"
@@ -139,7 +139,9 @@ class MemorySystem {
   }
   [[nodiscard]] const EventLog& event_log() const noexcept { return log_; }
   [[nodiscard]] FalseSharingClassifier& classifier() noexcept { return fs_; }
-  [[nodiscard]] Network& network() noexcept { return net_; }
+  /// The coherence transport (directory network or snooping bus; see
+  /// net/interconnect.hpp).
+  [[nodiscard]] Interconnect& interconnect() noexcept { return *net_; }
   [[nodiscard]] Directory& directory() noexcept { return dir_; }
   [[nodiscard]] const Directory& directory() const noexcept { return dir_; }
   /// The directory organisation decoding this machine's sharer words.
@@ -256,7 +258,17 @@ class MemorySystem {
   std::unique_ptr<DirectoryPolicy> dirpol_;
   /// Sparse organisation's entry-population bound; 0 = unbounded.
   std::uint32_t dir_entry_limit_ = 0;
-  Network net_;
+  /// The coherence transport (net/interconnect.hpp): the directory
+  /// network or the snooping bus, per cfg_.interconnect.
+  std::unique_ptr<Interconnect> net_;
+  /// Cached net_->snoops(): on a snooping transport the engine skips the
+  /// directed forward/invalidate/update legs — the request broadcast
+  /// already reached every cache.
+  bool snoops_ = false;
+  /// Cached policy_->writes_update_sharers() (Dragon write-update).
+  bool update_mode_ = false;
+  /// Cached ProtocolConfig::trust_update_sharers (fault injection).
+  bool trust_updates_ = false;
   Directory dir_;
   std::vector<CacheHierarchy> caches_;
   FalseSharingClassifier fs_;

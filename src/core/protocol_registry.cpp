@@ -5,9 +5,14 @@
 
 #include "core/policies/ad_policy.hpp"
 #include "core/policies/baseline_policy.hpp"
+#include "core/policies/dragon_policy.hpp"
 #include "core/policies/ils_policy.hpp"
 #include "core/policies/ls_ad_hybrid_policy.hpp"
+#include "core/policies/ls_dragon_policy.hpp"
+#include "core/policies/ls_mesi_policy.hpp"
 #include "core/policies/ls_policy.hpp"
+#include "core/policies/mesi_policy.hpp"
+#include "core/policies/moesi_policy.hpp"
 
 namespace lssim {
 namespace {
@@ -20,6 +25,11 @@ std::unique_ptr<CoherencePolicy> make_from_protocol(
 
 std::unique_ptr<CoherencePolicy> make_baseline(const MachineConfig&) {
   return std::make_unique<BaselinePolicy>();
+}
+
+template <typename Policy>
+std::unique_ptr<CoherencePolicy> make_simple(const MachineConfig&) {
+  return std::make_unique<Policy>();
 }
 
 std::unique_ptr<CoherencePolicy> make_ils(const MachineConfig& config) {
@@ -45,6 +55,21 @@ const ProtocolInfo kRegistry[kNumProtocolKinds] = {
     {ProtocolKind::kLsAd, protocol_name(ProtocolKind::kLsAd),
      "LS tagging with AD's migratory fallback (paper §6 combination)",
      &make_from_protocol<LsAdHybridPolicy>},
+    {ProtocolKind::kMesi, protocol_name(ProtocolKind::kMesi),
+     "classic MESI / Illinois (exclusive-clean cold reads, no tagging)",
+     &make_simple<MesiPolicy>},
+    {ProtocolKind::kMoesi, protocol_name(ProtocolKind::kMoesi),
+     "MESI plus Owned: dirty owner services read misses cache-to-cache",
+     &make_simple<MoesiPolicy>},
+    {ProtocolKind::kDragon, protocol_name(ProtocolKind::kDragon),
+     "Dragon write-update: writes push data to surviving sharers",
+     &make_simple<DragonPolicy>},
+    {ProtocolKind::kLsMesi, protocol_name(ProtocolKind::kLsMesi),
+     "the paper's LS tagging composed over a MESI base",
+     &make_from_protocol<LsMesiPolicy>},
+    {ProtocolKind::kLsDragon, protocol_name(ProtocolKind::kLsDragon),
+     "LS tagging over Dragon: tagged blocks migrate instead of updating",
+     &make_from_protocol<LsDragonPolicy>},
 };
 
 }  // namespace

@@ -105,6 +105,18 @@ std::string driver_usage() {
                      (default full-map, case-insensitive)
   --directories A,B  sweep several organisations; the driver runs the
                      full protocols x directories matrix
+  --interconnect I   coherence transport: )" +
+         registered_interconnect_names(" | ") + R"(
+                     (default network, case-insensitive)
+  --interconnects A,B
+                     sweep several transports; third matrix axis
+                     (protocols x directories x interconnects)
+  --bus-arb A        bus arbitration: fcfs | round-robin (default fcfs;
+                     only applies under --interconnect bus)
+  --list-protocols   print registered protocol names, one per line
+  --list-directories print registered directory organisations
+  --list-interconnects
+                     print registered coherence transports
   --dir-pointers N   limited-ptr: pointers per entry (1..7, default 4)
   --dir-region N     coarse: nodes per presence bit (0 = auto)
   --dir-entries N    sparse: directory-cache capacity (0 = auto 1024)
@@ -200,6 +212,35 @@ bool parse_driver_args(int argc, const char* const* argv,
       if (!resolve_directory_list(value, &kinds, error)) return false;
       options->directories = std::move(kinds);
       options->machine.directory_scheme = options->directories.front();
+    } else if (arg == "--interconnect") {
+      if (!need_value(i, &value)) return false;
+      InterconnectKind kind;
+      if (!interconnect_from_name(value, &kind)) {
+        *error = "unknown interconnect: " + value +
+                 " (registered: " + registered_interconnect_names() + ")";
+        return false;
+      }
+      options->interconnects = {kind};
+      options->machine.interconnect = kind;
+    } else if (arg == "--interconnects") {
+      if (!need_value(i, &value)) return false;
+      std::vector<InterconnectKind> kinds;
+      if (!resolve_interconnect_list(value, &kinds, error)) return false;
+      options->interconnects = std::move(kinds);
+      options->machine.interconnect = options->interconnects.front();
+    } else if (arg == "--bus-arb") {
+      if (!need_value(i, &value)) return false;
+      if (!bus_arbitration_from_name(value,
+                                     &options->machine.bus_arbitration)) {
+        *error = "unknown bus arbitration (fcfs | round-robin): " + value;
+        return false;
+      }
+    } else if (arg == "--list-protocols") {
+      options->list_protocols = true;
+    } else if (arg == "--list-directories") {
+      options->list_directories = true;
+    } else if (arg == "--list-interconnects") {
+      options->list_interconnects = true;
     } else if (arg == "--dir-pointers") {
       if (!need_value(i, &value)) return false;
       std::uint64_t n = 0;

@@ -30,6 +30,11 @@ struct DriverOptions {
   /// protocol-major, so a single-directory invocation is byte-identical
   /// to the pre-matrix driver.
   std::vector<DirectoryKind> directories{DirectoryKind::kFullMap};
+  /// Coherence transports to sweep (--interconnect/--interconnects).
+  /// Third, innermost matrix axis: protocols × directories ×
+  /// interconnects, so a single-network invocation stays byte-identical
+  /// to the pre-seam driver.
+  std::vector<InterconnectKind> interconnects{InterconnectKind::kNetwork};
   MachineConfig machine;
   std::uint64_t seed = 1;
   OutputFormat format = OutputFormat::kText;
@@ -66,12 +71,22 @@ struct DriverOptions {
   /// Also execute every cell live and assert stat agreement with its
   /// replay (exit 5 on divergence).
   bool replay_crosscheck = false;
+  // Discovery flags: print the registered names (one per line, exit 0)
+  // and do nothing else — for scripts that build sweep matrices.
+  bool list_protocols = false;
+  bool list_directories = false;
+  bool list_interconnects = false;
   bool show_help = false;
 
   /// True when any replay-mode option was given.
   [[nodiscard]] bool replay_mode() const noexcept {
     return replay_compare || replay_crosscheck || !replay_from.empty() ||
            !capture_trace_out.empty();
+  }
+
+  /// True when any --list-* discovery flag was given.
+  [[nodiscard]] bool list_mode() const noexcept {
+    return list_protocols || list_directories || list_interconnects;
   }
 };
 

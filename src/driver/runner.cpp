@@ -126,6 +126,40 @@ bool resolve_directory_list(const std::string& csv,
   return true;
 }
 
+bool resolve_interconnect_list(const std::string& csv,
+                               std::vector<InterconnectKind>* out,
+                               std::string* error) {
+  std::vector<InterconnectKind> kinds;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string name = csv.substr(start, comma - start);
+    InterconnectKind kind;
+    if (!interconnect_from_name(name, &kind)) {
+      *error = "unknown interconnect '" + name + "' in --interconnects " +
+               csv + " (registered: " + registered_interconnect_names() +
+               ")";
+      return false;
+    }
+    if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end()) {
+      kinds.push_back(kind);
+    }
+    start = comma + 1;
+  }
+  *out = std::move(kinds);
+  return true;
+}
+
+std::string registered_interconnect_names(const char* sep) {
+  std::string joined;
+  for (const InterconnectNameEntry& entry : kInterconnectNameTable) {
+    if (!joined.empty()) joined += sep;
+    joined += entry.name;
+  }
+  return joined;
+}
+
 WorkloadBuilder make_driver_builder(const DriverOptions& options) {
   ParamReader reader(options.params);
   WorkloadBuilder build;
@@ -276,19 +310,26 @@ std::vector<DriverRun> run_driver_workloads_captured(
   // build each task's own builder inside the task — the ownership rule
   // at the executor seam: nothing mutable is shared between runs).
   (void)make_driver_builder(options);
-  // Protocol-major matrix: for --directories a,b the runs come out as
-  // p0@a, p0@b, p1@a, ... With a single directory this degenerates to
-  // the plain per-protocol sweep.
+  // Protocol-major matrix, interconnect innermost: for --directories a,b
+  // --interconnects x,y the runs come out as p0@a@x, p0@a@y, p0@b@x, ...
+  // With a single directory and a single interconnect this degenerates
+  // to the plain per-protocol sweep.
   const std::size_t dirs = std::max<std::size_t>(1, options.directories.size());
+  const std::size_t nets =
+      std::max<std::size_t>(1, options.interconnects.size());
   return parallel_map<DriverRun>(
-      options.protocols.size() * dirs, options.jobs,
-      [&options, heartbeat, dirs](std::size_t i) {
+      options.protocols.size() * dirs * nets, options.jobs,
+      [&options, heartbeat, dirs, nets](std::size_t i) {
         DriverOptions task = options;
         if (!options.directories.empty()) {
-          task.machine.directory_scheme = options.directories[i % dirs];
+          task.machine.directory_scheme =
+              options.directories[(i / nets) % dirs];
         }
-        return run_driver_workload_captured(task, options.protocols[i / dirs],
-                                            heartbeat);
+        if (!options.interconnects.empty()) {
+          task.machine.interconnect = options.interconnects[i % nets];
+        }
+        return run_driver_workload_captured(
+            task, options.protocols[i / (dirs * nets)], heartbeat);
       });
 }
 
@@ -325,12 +366,17 @@ bool write_artifact(const std::string& path, const char* what, Emit&& emit,
 
 /// Label for one run in artifacts and reports: the protocol name alone
 /// for single-directory invocations (matching the pre-matrix driver
-/// byte-for-byte), "Protocol@organisation" when sweeping several.
+/// byte-for-byte), "Protocol@organisation" when sweeping several
+/// directories, with "@transport" appended when sweeping interconnects.
 std::string run_label(const DriverOptions& options, const RunResult& r) {
   std::string label = to_string(r.protocol);
   if (options.directories.size() > 1) {
     label += '@';
     label += directory_name(r.directory);
+  }
+  if (options.interconnects.size() > 1) {
+    label += '@';
+    label += interconnect_name(r.interconnect);
   }
   return label;
 }
@@ -424,6 +470,8 @@ bool write_driver_artifacts(const DriverOptions& options,
       entry.emplace_back("protocol", Json(to_string(run.result.protocol)));
       entry.emplace_back("directory",
                          Json(directory_name(run.result.directory)));
+      entry.emplace_back("interconnect",
+                         Json(interconnect_name(run.result.interconnect)));
       entry.emplace_back("metrics", snapshot_to_json(run.metrics));
       documents.emplace_back(std::move(entry));
     }
@@ -507,7 +555,14 @@ void print_text(std::ostream& os, const DriverOptions& options,
                 const std::vector<RunResult>& results) {
   const RunResult& base = results.front();
   const bool multi_dir = options.directories.size() > 1;
-  os << (multi_dir ? "protocol@directory  " : "protocol  ")
+  const bool multi_net = options.interconnects.size() > 1;
+  // Label column widens with each swept axis; the single-axis widths
+  // reproduce the pre-matrix / pre-seam headers byte-for-byte.
+  std::string head = "protocol";
+  if (multi_dir) head += "@directory";
+  if (multi_net) head += "@interconnect";
+  const int label_width = static_cast<int>(head.size()) + 1;
+  os << head << "  "
      << " exec-cycles        busy  read-stall write-stall"
         "   messages  rd-misses  eliminated";
   if (results.size() > 1) os << "   (norm exec)";
@@ -515,12 +570,8 @@ void print_text(std::ostream& os, const DriverOptions& options,
   for (const RunResult& r : results) {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  multi_dir
-                      ? "%-19s %12llu %11llu %11llu %11llu %10llu %10llu "
-                        "%11llu"
-                      : "%-9s %12llu %11llu %11llu %11llu %10llu %10llu "
-                        "%11llu",
-                  run_label(options, r).c_str(),
+                  "%-*s %12llu %11llu %11llu %11llu %10llu %10llu %11llu",
+                  label_width, run_label(options, r).c_str(),
                   static_cast<unsigned long long>(r.exec_time),
                   static_cast<unsigned long long>(r.time.busy),
                   static_cast<unsigned long long>(r.time.read_stall),

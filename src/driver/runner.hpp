@@ -36,6 +36,19 @@ bool resolve_directory_list(const std::string& csv,
                             std::vector<DirectoryKind>* out,
                             std::string* error);
 
+/// As resolve_protocol_list, for --interconnects: resolves a
+/// comma-separated list of transport names through the shared
+/// interconnect name table (sim/config.hpp). On failure the error
+/// message lists the registered transport names.
+bool resolve_interconnect_list(const std::string& csv,
+                               std::vector<InterconnectKind>* out,
+                               std::string* error);
+
+/// Canonical interconnect names joined by `sep`, table order — the
+/// --interconnect half of registered_protocol_names().
+[[nodiscard]] std::string registered_interconnect_names(
+    const char* sep = ", ");
+
 /// Builds the WorkloadBuilder for `options.workload` with its --set
 /// parameters applied; throws std::invalid_argument on unknown workloads
 /// or parameters. Useful for callers that own their System (tracing).
@@ -70,8 +83,9 @@ DriverRun run_driver_workload_captured(const DriverOptions& options,
                                        ProtocolKind kind,
                                        HeartbeatEmitter* heartbeat = nullptr);
 
-/// Runs the full `options.protocols` × `options.directories` matrix,
-/// protocol-major, fanned out across up to `options.jobs` host threads
+/// Runs the full `options.protocols` × `options.directories` ×
+/// `options.interconnects` matrix (protocol-major, interconnect
+/// innermost), fanned out across up to `options.jobs` host threads
 /// (0 = all cores). Results are ordered by that matrix regardless of
 /// completion order, so reports, manifests and Perfetto exports are
 /// byte-identical to a serial sweep. `heartbeat` (optional,

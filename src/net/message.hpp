@@ -28,6 +28,8 @@ enum class MsgType : std::uint8_t {
   kInval,           ///< Invalidation, home -> sharing cache.
   kInvalAck,        ///< Invalidation acknowledgement, sharer -> requester.
   kOwnerXferAck,    ///< Owner -> home notice that ownership moved.
+  kUpdate,          ///< Write-update: new data, home -> sharing cache.
+  kUpdateAck,       ///< Update acknowledgement, sharer -> writer.
   // -- Other ----------------------------------------------------------
   kWritebackData,   ///< Dirty replacement writeback, cache -> home.
   kReplHint,        ///< Clean/shared/LStemp replacement hint.
@@ -52,6 +54,8 @@ inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kCount);
     case MsgType::kInval:
     case MsgType::kInvalAck:
     case MsgType::kOwnerXferAck:
+    case MsgType::kUpdate:
+    case MsgType::kUpdateAck:
       return MsgClass::kWrite;
     case MsgType::kWritebackData:
     case MsgType::kReplHint:
@@ -77,6 +81,8 @@ inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kCount);
     case MsgType::kInval: return "Inval";
     case MsgType::kInvalAck: return "InvalAck";
     case MsgType::kOwnerXferAck: return "OwnerXferAck";
+    case MsgType::kUpdate: return "Update";
+    case MsgType::kUpdateAck: return "UpdateAck";
     case MsgType::kWritebackData: return "WritebackData";
     case MsgType::kReplHint: return "ReplHint";
     case MsgType::kNotLs: return "NotLS";

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/interconnect.hpp"
 #include "net/message.hpp"
 #include "sim/config.hpp"
 #include "sim/types.hpp"
@@ -20,7 +21,7 @@
 
 namespace lssim {
 
-class Network {
+class Network final : public Interconnect {
  public:
   /// `metrics` (optional) publishes message/hop counters and a queueing-
   /// delay histogram; null disables the hooks (one branch per send).
@@ -37,17 +38,17 @@ class Network {
   /// throws std::logic_error (before any statistic is touched) in every
   /// build type, since a self-send would silently inflate the message
   /// counts the figures are built from.
-  Cycles send(NodeId src, NodeId dst, MsgType type, Cycles now);
+  Cycles send(NodeId src, NodeId dst, MsgType type, Cycles now) override;
 
   /// Number of physical hops between two nodes under this topology.
-  [[nodiscard]] int hop_count(NodeId src, NodeId dst) const noexcept;
+  [[nodiscard]] int hop_count(NodeId src, NodeId dst) const noexcept override;
 
   /// Total cycles messages spent queued behind busy links (diagnostics).
-  [[nodiscard]] Cycles total_queueing() const noexcept {
+  [[nodiscard]] Cycles total_queueing() const noexcept override {
     return total_queueing_;
   }
 
-  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] int num_nodes() const noexcept override { return num_nodes_; }
   [[nodiscard]] Topology topology() const noexcept { return topology_; }
 
  private:

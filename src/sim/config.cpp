@@ -69,6 +69,42 @@ bool directory_from_name(std::string_view text, DirectoryKind* out) noexcept {
   return false;
 }
 
+const char* interconnect_name(InterconnectKind kind) noexcept {
+  for (const InterconnectNameEntry& entry : kInterconnectNameTable) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+bool interconnect_from_name(std::string_view text,
+                            InterconnectKind* out) noexcept {
+  if (text.empty()) {
+    return false;
+  }
+  for (const InterconnectNameEntry& entry : kInterconnectNameTable) {
+    if (iequals(text, entry.name) || matches_alias(text, entry.aliases)) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool bus_arbitration_from_name(std::string_view text,
+                               BusArbitration* out) noexcept {
+  if (iequals(text, "fcfs")) {
+    *out = BusArbitration::kFcfs;
+    return true;
+  }
+  if (iequals(text, "round-robin") || iequals(text, "rr")) {
+    *out = BusArbitration::kRoundRobin;
+    return true;
+  }
+  return false;
+}
+
 const char* protocol_name(ProtocolKind kind) noexcept {
   for (const ProtocolNameEntry& entry : kProtocolNameTable) {
     if (entry.kind == kind) {

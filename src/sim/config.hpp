@@ -24,9 +24,33 @@ namespace lssim {
 ///   kLsAd     — LS tagging with AD's migratory detection as fallback
 ///               (the paper's §6 combination; see
 ///               core/policies/ls_ad_hybrid_policy.hpp).
-enum class ProtocolKind : std::uint8_t { kBaseline, kAd, kLs, kIls, kLsAd };
+///   kMesi     — classic MESI (Illinois): cold reads of uncached blocks
+///               return an Exclusive copy; never tags
+///               (core/policies/mesi_policy.hpp).
+///   kMoesi    — MESI plus an Owned state: a dirty owner services read
+///               misses cache-to-cache and keeps the (stale-at-home)
+///               block (core/policies/moesi_policy.hpp).
+///   kDragon   — write-update (Dragon): writes to shared blocks update
+///               the remote copies instead of invalidating them
+///               (core/policies/dragon_policy.hpp).
+///   kLsMesi   — the paper's LS tagging composed over MESI
+///               (core/policies/ls_mesi_policy.hpp).
+///   kLsDragon — LS tagging composed over Dragon write-update
+///               (core/policies/ls_dragon_policy.hpp).
+enum class ProtocolKind : std::uint8_t {
+  kBaseline,
+  kAd,
+  kLs,
+  kIls,
+  kLsAd,
+  kMesi,
+  kMoesi,
+  kDragon,
+  kLsMesi,
+  kLsDragon,
+};
 
-inline constexpr int kNumProtocolKinds = 5;
+inline constexpr int kNumProtocolKinds = 10;
 
 /// One row of the protocol-name table: the canonical name (printed by
 /// reports, manifests and to_string) plus the lowercase aliases the CLI
@@ -46,6 +70,11 @@ inline constexpr ProtocolNameEntry kProtocolNameTable[kNumProtocolKinds] = {
     {ProtocolKind::kLs, "LS", ""},
     {ProtocolKind::kIls, "ILS", "instruction"},
     {ProtocolKind::kLsAd, "LS+AD", "lsad ls-ad hybrid"},
+    {ProtocolKind::kMesi, "MESI", "illinois"},
+    {ProtocolKind::kMoesi, "MOESI", "owned"},
+    {ProtocolKind::kDragon, "Dragon", "update write-update"},
+    {ProtocolKind::kLsMesi, "LS+MESI", "lsmesi ls-mesi"},
+    {ProtocolKind::kLsDragon, "LS+Dragon", "lsdragon ls-dragon"},
 };
 
 /// Canonical display name of `kind` (the table's `name` column).
@@ -112,6 +141,17 @@ struct ProtocolConfig {
   /// the case under-specified. The default reproduces the paper's
   /// measured AD coverage (Table 3).
   bool ad_detag_on_replacement = true;
+
+  /// Fault injection (verification only — never set in experiments):
+  /// during a write-update fan-out, trust the directory's believed
+  /// sharer set instead of probing each target cache, so a cache that
+  /// silently evicted the block (or a non-holder covered by an imprecise
+  /// believed set) is re-recorded as a sharer of the resulting Owned
+  /// entry. Restores a historical update-propagation bug; exists so the
+  /// checker selftests and tests/check/repros/dragon-update-
+  /// propagation.repro can prove the invariant checker catches the
+  /// class. Inert under invalidation-based protocols.
+  bool trust_update_sharers = false;
 };
 
 /// Directory organisation. Each kind is backed by a DirectoryPolicy
@@ -186,6 +226,67 @@ enum class Topology : std::uint8_t { kCrossbar, kRing, kMesh2D };
   return "?";
 }
 
+/// Coherence transport under the transaction engine. Each kind is backed
+/// by an Interconnect implementation (src/net/interconnect.hpp) created
+/// by make_interconnect().
+///   kNetwork — the directory machine's point-to-point network
+///              (net/network.hpp); messages route per `topology`.
+///   kBus     — a snooping shared bus (net/snoop_bus.hpp): every
+///              transaction is broadcast, so directed forward/invalidate
+///              legs become free snoop hits and the bus serialises all
+///              traffic through one arbiter.
+enum class InterconnectKind : std::uint8_t { kNetwork, kBus };
+
+inline constexpr int kNumInterconnectKinds = 2;
+
+/// Bus arbitration discipline under InterconnectKind::kBus (the two
+/// service disciplines of the shared-bus reference model).
+///   kFcfs       — first-come-first-served: grants in arrival order.
+///   kRoundRobin — rotating priority: a contended grant first walks the
+///                 rotation from the last grantee to the requester.
+enum class BusArbitration : std::uint8_t { kFcfs, kRoundRobin };
+
+/// One row of the interconnect-name table — same contract as
+/// kProtocolNameTable / kDirectoryNameTable above: the driver's
+/// --interconnect(s) parsing, repro files and the manifest reader all
+/// resolve through it.
+struct InterconnectNameEntry {
+  InterconnectKind kind;
+  const char* name;     ///< Canonical, e.g. "network".
+  const char* aliases;  ///< Space-separated lowercase extras ("" = none).
+};
+
+inline constexpr InterconnectNameEntry
+    kInterconnectNameTable[kNumInterconnectKinds] = {
+        {InterconnectKind::kNetwork, "network", "directory dir net"},
+        {InterconnectKind::kBus, "bus", "snooping snoop shared-bus"},
+};
+
+/// Canonical display name of `kind` (the table's `name` column).
+[[nodiscard]] const char* interconnect_name(InterconnectKind kind) noexcept;
+
+/// Inverse of interconnect_name: resolves a canonical name or alias
+/// (case-insensitive) back to the kind. Returns false on unknown names.
+bool interconnect_from_name(std::string_view text,
+                            InterconnectKind* out) noexcept;
+
+[[nodiscard]] inline const char* to_string(InterconnectKind kind) noexcept {
+  return interconnect_name(kind);
+}
+
+[[nodiscard]] constexpr const char* to_string(BusArbitration a) noexcept {
+  switch (a) {
+    case BusArbitration::kFcfs: return "fcfs";
+    case BusArbitration::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+/// Resolves "fcfs" / "round-robin" (alias "rr", case-insensitive) back
+/// to the discipline. Returns false on unknown names.
+bool bus_arbitration_from_name(std::string_view text,
+                               BusArbitration* out) noexcept;
+
 /// Memory consistency model (paper §6 discussion).
 ///   kSc — sequential consistency: the processor stalls for the full
 ///         latency of every L2 miss, reads and writes (paper default).
@@ -243,6 +344,12 @@ struct MachineConfig {
   std::uint8_t write_buffer_depth = 8;
 
   Topology topology = Topology::kCrossbar;
+
+  /// Coherence transport (see InterconnectKind above). `topology` only
+  /// applies under kNetwork; the bus ignores it.
+  InterconnectKind interconnect = InterconnectKind::kNetwork;
+  /// Arbitration discipline under InterconnectKind::kBus.
+  BusArbitration bus_arbitration = BusArbitration::kFcfs;
 
   DirectoryKind directory_scheme = DirectoryKind::kFullMap;
   /// Sharer pointers per entry under kLimitedPtr (Dir_iB); 1..7 (the

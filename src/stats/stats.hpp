@@ -106,6 +106,11 @@ struct Stats {
   std::uint64_t blocks_detagged = 0;
   std::uint64_t notls_messages = 0;
   std::uint64_t exclusive_read_replies = 0;
+  /// Write-update protocols (Dragon): writes that pushed new data to at
+  /// least one remote shared copy instead of invalidating it...
+  std::uint64_t update_transactions = 0;
+  /// ...and how many remote copies those writes updated in total.
+  std::uint64_t updates_sent = 0;
 
   // --- distributions / topology-resolved traffic -------------------------
   LatencyHistogram read_latency;   ///< All read accesses (bucket 0 = hits).

@@ -100,6 +100,14 @@ Json machine_to_json(const MachineConfig& machine) {
       o.emplace_back("directory_entries", Json(machine.directory_entries));
       break;
   }
+  // Pure addition (schema version kept): the coherence transport, with
+  // the arbitration knob only where it applies — mirroring the
+  // directory-knob pattern above.
+  o.emplace_back("interconnect", Json(interconnect_name(machine.interconnect)));
+  if (machine.interconnect == InterconnectKind::kBus) {
+    o.emplace_back("bus_arbitration",
+                   Json(to_string(machine.bus_arbitration)));
+  }
   o.emplace_back("classify_false_sharing",
                  Json(machine.classify_false_sharing));
   return Json(std::move(o));
@@ -157,6 +165,21 @@ bool machine_from_json(const Json& json, MachineConfig* out,
                     error)) {
     return false;
   }
+  // Absent in pre-interconnect-seam documents (implies the directory
+  // network).
+  if (const Json* net = json.find("interconnect"); net != nullptr) {
+    if (!net->is_string() ||
+        !interconnect_from_name(net->as_string(), &out->interconnect)) {
+      return fail("unknown interconnect in machine config");
+    }
+  }
+  if (const Json* arb = json.find("bus_arbitration"); arb != nullptr) {
+    if (!arb->is_string() ||
+        !bus_arbitration_from_name(arb->as_string(),
+                                   &out->bus_arbitration)) {
+      return fail("unknown bus arbitration in machine config");
+    }
+  }
   if (const Json* fs = json.find("classify_false_sharing");
       fs != nullptr && fs->is_bool()) {
     out->classify_false_sharing = fs->as_bool();
@@ -170,6 +193,7 @@ Json run_result_to_json(const RunResult& result) {
   Json::Object o;
   o.emplace_back("protocol", Json(to_string(result.protocol)));
   o.emplace_back("directory", Json(to_string(result.directory)));
+  o.emplace_back("interconnect", Json(to_string(result.interconnect)));
   o.emplace_back("exec_cycles", Json(result.exec_time));
   Json::Object time;
   time.emplace_back("busy", Json(result.time.busy));
@@ -196,6 +220,8 @@ Json run_result_to_json(const RunResult& result) {
   o.emplace_back("single_invalidations", Json(result.single_invalidations));
   o.emplace_back("eliminated_acquisitions",
                  Json(result.eliminated_acquisitions));
+  o.emplace_back("update_transactions", Json(result.update_transactions));
+  o.emplace_back("updates_sent", Json(result.updates_sent));
   o.emplace_back("data_misses", Json(result.data_misses));
   o.emplace_back("coherence_misses", Json(result.coherence_misses));
   o.emplace_back("false_sharing_misses", Json(result.false_sharing_misses));
@@ -234,6 +260,12 @@ bool run_result_from_json(const Json& json, RunResult* out,
       dir != nullptr && dir->is_string()) {
     if (!directory_from_name(dir->as_string(), &out->directory)) {
       return fail("unknown directory organisation name");
+    }
+  }
+  if (const Json* net = json.find("interconnect");
+      net != nullptr && net->is_string()) {
+    if (!interconnect_from_name(net->as_string(), &out->interconnect)) {
+      return fail("unknown interconnect name");
     }
   }
   if (!read_u64(json, "exec_cycles", &out->exec_time, error)) return false;
@@ -280,6 +312,9 @@ bool run_result_from_json(const Json& json, RunResult* out,
                   error) &&
          read_u64(json, "eliminated_acquisitions",
                   &out->eliminated_acquisitions, error) &&
+         read_u64(json, "update_transactions", &out->update_transactions,
+                  error) &&
+         read_u64(json, "updates_sent", &out->updates_sent, error) &&
          read_u64(json, "data_misses", &out->data_misses, error) &&
          read_u64(json, "coherence_misses", &out->coherence_misses, error) &&
          read_u64(json, "false_sharing_misses", &out->false_sharing_misses,

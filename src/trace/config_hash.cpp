@@ -26,7 +26,8 @@ class Fnv1a {
 
 }  // namespace
 
-std::uint64_t trace_config_hash(const MachineConfig& config) noexcept {
+std::uint64_t trace_config_hash(const MachineConfig& config,
+                                std::uint32_t version) noexcept {
   Fnv1a h;
   h.mix(static_cast<std::uint64_t>(config.num_nodes));
   h.mix(config.page_bytes);
@@ -48,6 +49,13 @@ std::uint64_t trace_config_hash(const MachineConfig& config) noexcept {
   h.mix(static_cast<std::uint64_t>(config.consistency));
   h.mix(config.write_buffer_depth);
   h.mix(static_cast<std::uint64_t>(config.topology));
+  if (version >= 1) {
+    // Schema 1 (the interconnect seam): the transport changes every
+    // issue-time the per-record gaps were measured against, so it is as
+    // capture-binding as topology.
+    h.mix(static_cast<std::uint64_t>(config.interconnect));
+    h.mix(static_cast<std::uint64_t>(config.bus_arbitration));
+  }
   return h.value();
 }
 

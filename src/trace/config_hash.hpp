@@ -17,12 +17,22 @@
 
 namespace lssim {
 
-/// FNV-1a hash over the protocol-insensitive MachineConfig fields.
-/// Stable across runs and platforms (field-by-field, little-endian
-/// widths); NOT stable across releases that add hashed fields — which is
+/// Config-hash schema version recorded in capture-trace headers (the
+/// trace format's minor version). Version 0 — implicit in files written
+/// before the interconnect seam — hashes the original field set; version
+/// 1 additionally covers the coherence transport (interconnect kind and
+/// bus arbitration), so a bus capture can never be replayed against a
+/// directory-network machine or vice versa.
+inline constexpr std::uint32_t kTraceConfigHashVersion = 1;
+
+/// FNV-1a hash over the protocol-insensitive MachineConfig fields, as
+/// defined by `version` (clamped to the newest known schema). Stable
+/// across runs and platforms (field-by-field, little-endian widths);
+/// NOT stable across schema versions that add hashed fields — which is
 /// the desired behaviour: a layout change invalidates cached traces.
 [[nodiscard]] std::uint64_t trace_config_hash(
-    const MachineConfig& config) noexcept;
+    const MachineConfig& config,
+    std::uint32_t version = kTraceConfigHashVersion) noexcept;
 
 /// `hash` as the fixed-width lowercase hex string used in mismatch
 /// messages, e.g. "0x00c0ffee00c0ffee".

@@ -32,6 +32,7 @@ CapturedTrace capture_trace(const MachineConfig& config,
   }
   recorder.finish(sys);
   captured.trace.meta().config_hash = trace_config_hash(config);
+  captured.trace.meta().hash_version = kTraceConfigHashVersion;
   captured.trace.meta().seed = seed;
   captured.trace.meta().workload = workload;
   captured.executed = collect(sys);
@@ -55,7 +56,17 @@ void check_config_compatible(const Trace& trace, const MachineConfig& cfg) {
   if (recorded == 0) {
     return;  // Hand-built or version-1 trace: nothing to check against.
   }
-  const std::uint64_t machine = trace_config_hash(cfg);
+  const std::uint32_t version = trace.meta().hash_version;
+  if (version == 0 && cfg.interconnect != InterconnectKind::kNetwork) {
+    // Pre-seam hash schemas do not cover the transport, and such
+    // captures could only have run on the directory network — replaying
+    // one on the bus is a config mismatch even where the hashed fields
+    // agree.
+    throw TraceConfigMismatch(recorded, trace_config_hash(cfg));
+  }
+  // Recompute under the capture's schema so older captures keep
+  // replaying on machines they actually describe.
+  const std::uint64_t machine = trace_config_hash(cfg, version);
   if (recorded != machine) {
     throw TraceConfigMismatch(recorded, machine);
   }
@@ -283,6 +294,9 @@ std::vector<std::string> compare_replay(const RunResult& executed,
   field("invalidations", executed.invalidations, replayed.invalidations);
   field("eliminated_acquisitions", executed.eliminated_acquisitions,
         replayed.eliminated_acquisitions);
+  field("update_transactions", executed.update_transactions,
+        replayed.update_transactions);
+  field("updates_sent", executed.updates_sent, replayed.updates_sent);
   field("blocks_tagged", executed.blocks_tagged, replayed.blocks_tagged);
   field("blocks_detagged", executed.blocks_detagged,
         replayed.blocks_detagged);

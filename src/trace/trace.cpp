@@ -13,6 +13,10 @@ namespace {
 
 constexpr char kMagicV1[8] = {'L', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
 constexpr char kMagicV2[8] = {'L', 'S', 'T', 'R', 'A', 'C', 'E', '2'};
+// v2.1: the v2 layout with a config-hash schema version (u32) between
+// the magic and the hash, so replay can recompute the hash the way the
+// capturing build did (trace/config_hash.hpp).
+constexpr char kMagicV21[8] = {'L', 'S', 'T', 'R', 'A', 'C', '2', '1'};
 
 template <typename T>
 void put(std::ostream& os, T value) {
@@ -44,7 +48,8 @@ void check_stream(std::istream& is) {
 }  // namespace
 
 void Trace::save(std::ostream& os) const {
-  os.write(kMagicV2, sizeof(kMagicV2));
+  os.write(kMagicV21, sizeof(kMagicV21));
+  put<std::uint32_t>(os, meta_.hash_version);
   put<std::uint64_t>(os, meta_.config_hash);
   put<std::uint64_t>(os, meta_.seed);
   put<std::uint32_t>(os, static_cast<std::uint32_t>(meta_.workload.size()));
@@ -73,13 +78,19 @@ Trace Trace::load(std::istream& is) {
   char magic[8];
   is.read(magic, sizeof(magic));
   const bool v1 = is && std::memcmp(magic, kMagicV1, sizeof(magic)) == 0;
-  const bool v2 = is && std::memcmp(magic, kMagicV2, sizeof(magic)) == 0;
+  const bool v21 = is && std::memcmp(magic, kMagicV21, sizeof(magic)) == 0;
+  const bool v2 =
+      v21 || (is && std::memcmp(magic, kMagicV2, sizeof(magic)) == 0);
   if (!v1 && !v2) {
     throw std::runtime_error("not an lssim trace file");
   }
 
   Trace trace;
+  trace.meta_.hash_version = 0;
   if (v2) {
+    if (v21) {
+      trace.meta_.hash_version = get<std::uint32_t>(is);
+    }
     trace.meta_.config_hash = get<std::uint64_t>(is);
     trace.meta_.seed = get<std::uint64_t>(is);
     const std::uint32_t name_len = get<std::uint32_t>(is);

@@ -23,6 +23,7 @@
 
 #include "core/protocol.hpp"
 #include "sim/types.hpp"
+#include "trace/config_hash.hpp"
 
 namespace lssim {
 
@@ -50,6 +51,11 @@ struct TraceMeta {
   /// configuration. 0 = unknown (a version-1 file or a hand-built
   /// trace): compatibility is not checked.
   std::uint64_t config_hash = 0;
+  /// Config-hash schema the hash was computed under (the format's minor
+  /// version; see trace/config_hash.hpp). Files older than v2.1 load as
+  /// 0 — the pre-interconnect-seam schema, whose captures could only
+  /// have run on the directory network and therefore only replay there.
+  std::uint32_t hash_version = kTraceConfigHashVersion;
   std::uint64_t seed = 0;
   std::string workload;  ///< Informational; empty when unknown.
   /// Per-node compute cycles after the node's last access completed
@@ -75,10 +81,12 @@ class Trace {
   [[nodiscard]] const TraceMeta& meta() const noexcept { return meta_; }
 
   /// Binary serialization (little-endian, versioned header). save()
-  /// always writes the current version; load() accepts the current
-  /// version and version-1 files (whose records carry no data payloads —
-  /// their wdata loads as the historical placeholder value 1 — and no
-  /// metadata, so config compatibility is unchecked).
+  /// always writes the current version (v2.1: the v2 layout plus the
+  /// config-hash schema version); load() additionally accepts plain v2
+  /// files (hash_version loads as 0) and version-1 files (whose records
+  /// carry no data payloads — their wdata loads as the historical
+  /// placeholder value 1 — and no metadata, so config compatibility is
+  /// unchecked).
   void save(std::ostream& os) const;
   [[nodiscard]] static Trace load(std::istream& is);
 

@@ -13,6 +13,7 @@ RunResult collect(const MachineConfig& config, const Stats& stats,
   RunResult result;
   result.protocol = config.protocol.kind;
   result.directory = config.directory_scheme;
+  result.interconnect = config.interconnect;
   result.exec_time = exec_time;
   result.time = stats.time_total();
   for (int c = 0; c < kNumMsgClasses; ++c) {
@@ -27,6 +28,8 @@ RunResult collect(const MachineConfig& config, const Stats& stats,
   result.invalidations = stats.invalidations_sent;
   result.single_invalidations = stats.single_invalidations;
   result.eliminated_acquisitions = stats.eliminated_acquisitions;
+  result.update_transactions = stats.update_transactions;
+  result.updates_sent = stats.updates_sent;
   result.data_misses = stats.data_misses;
   result.coherence_misses = stats.coherence_misses;
   result.false_sharing_misses = stats.false_sharing_misses;

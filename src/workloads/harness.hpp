@@ -19,6 +19,7 @@ namespace lssim {
 struct RunResult {
   ProtocolKind protocol = ProtocolKind::kBaseline;
   DirectoryKind directory = DirectoryKind::kFullMap;
+  InterconnectKind interconnect = InterconnectKind::kNetwork;
   Cycles exec_time = 0;       ///< Wall clock: latest processor time.
   TimeBreakdown time;         ///< Summed over processors.
   std::array<std::uint64_t, kNumMsgClasses> traffic{};
@@ -30,6 +31,8 @@ struct RunResult {
   std::uint64_t invalidations = 0;
   std::uint64_t single_invalidations = 0;
   std::uint64_t eliminated_acquisitions = 0;
+  std::uint64_t update_transactions = 0;  ///< Write-update (Dragon) writes.
+  std::uint64_t updates_sent = 0;         ///< Remote copies they refreshed.
   std::uint64_t data_misses = 0;
   std::uint64_t coherence_misses = 0;
   std::uint64_t false_sharing_misses = 0;

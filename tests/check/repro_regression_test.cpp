@@ -56,6 +56,36 @@ TEST(ReproRegression, LsAdFallbackAtUpgrade) {
   EXPECT_TRUE(run.ok()) << run.violations.front().message();
 }
 
+TEST(ReproRegression, DragonUpdatePropagationOverImpreciseDirectory) {
+  const ReproTrace trace =
+      load_repro_file(repro_path("dragon-update-propagation.repro"));
+  ASSERT_EQ(trace.accesses.size(), 4u);
+  EXPECT_EQ(trace.machine.protocol.kind, ProtocolKind::kLsDragon);
+  EXPECT_EQ(trace.machine.directory_scheme, DirectoryKind::kLimitedPtr);
+  EXPECT_EQ(trace.machine.interconnect, InterconnectKind::kNetwork);
+  const TraceRunResult run = run_trace(trace, {}, kStrict);
+  EXPECT_TRUE(run.ok()) << run.violations.front().message();
+
+  // The trace is load-bearing: re-injecting the historical bug (the
+  // write-update fan-out trusting the believed sharer set instead of
+  // probing each target cache) must trip the directory/cache agreement
+  // sweep on the final write, which re-records the silently-evicted
+  // node 0 as a sharer of the precise Owned entry.
+  ReproTrace injected = trace;
+  injected.machine.protocol.trust_update_sharers = true;
+  const TraceRunResult broken = run_trace(injected, {}, kStrict);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.violations.front().invariant, "dir-cache-agreement");
+  EXPECT_EQ(broken.violations.front().access_index, 4u);
+
+  // Same stimulus, same injected bug, snooping transport: the invariant
+  // is transport-independent and must fire on the bus too.
+  injected.machine.interconnect = InterconnectKind::kBus;
+  const TraceRunResult bus_broken = run_trace(injected, {}, kStrict);
+  ASSERT_FALSE(bus_broken.ok());
+  EXPECT_EQ(bus_broken.violations.front().invariant, "dir-cache-agreement");
+}
+
 TEST(ReproFormat, SaveLoadRoundTripsExactly) {
   ReproTrace trace;
   trace.machine = tiny_machine(4, ProtocolKind::kLsAd);
@@ -66,6 +96,8 @@ TEST(ReproFormat, SaveLoadRoundTripsExactly) {
   trace.machine.directory_pointers = 2;
   trace.machine.directory_region = 3;
   trace.machine.directory_entries = 7;
+  trace.machine.interconnect = InterconnectKind::kBus;
+  trace.machine.bus_arbitration = BusArbitration::kRoundRobin;
   trace.accesses = {
       {0, MemOpKind::kRead, 0x0, 8, 0, 0},
       {3, MemOpKind::kWrite, 0x40, 8, 0xdeadbeef, 0},
@@ -87,6 +119,8 @@ TEST(ReproFormat, SaveLoadRoundTripsExactly) {
   EXPECT_EQ(loaded.machine.directory_pointers, 2);
   EXPECT_EQ(loaded.machine.directory_region, 3);
   EXPECT_EQ(loaded.machine.directory_entries, 7u);
+  EXPECT_EQ(loaded.machine.interconnect, InterconnectKind::kBus);
+  EXPECT_EQ(loaded.machine.bus_arbitration, BusArbitration::kRoundRobin);
   EXPECT_EQ(loaded.accesses, trace.accesses);
 }
 

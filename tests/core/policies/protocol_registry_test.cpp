@@ -69,9 +69,12 @@ TEST(ProtocolRegistryTest, ProtocolInfoByKind) {
 }
 
 TEST(ProtocolRegistryTest, RegisteredNamesJoinInOrder) {
-  EXPECT_EQ(registered_protocol_names(), "Baseline, AD, LS, ILS, LS+AD");
+  EXPECT_EQ(registered_protocol_names(),
+            "Baseline, AD, LS, ILS, LS+AD, MESI, MOESI, Dragon, LS+MESI, "
+            "LS+Dragon");
   EXPECT_EQ(registered_protocol_names(" | "),
-            "Baseline | AD | LS | ILS | LS+AD");
+            "Baseline | AD | LS | ILS | LS+AD | MESI | MOESI | Dragon | "
+            "LS+MESI | LS+Dragon");
 }
 
 TEST(ProtocolRegistryTest, AllProtocolKindsInRegistryOrder) {

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "core/protocol.hpp"
+#include "core/protocol_registry.hpp"
 #include "mem/address_space.hpp"
 #include "sim/config.hpp"
 #include "stats/stats.hpp"
@@ -91,12 +92,10 @@ TEST_P(ExhaustiveTest, AllBoundedSequencesAreCoherent) {
   EXPECT_EQ(sequences, total);
 }
 
+// Every registered protocol, MESI/MOESI/Dragon family included: new
+// registrations join the sweep without touching this file.
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ExhaustiveTest,
-                         ::testing::Values(ProtocolKind::kBaseline,
-                                           ProtocolKind::kAd,
-                                           ProtocolKind::kLs,
-                                           ProtocolKind::kIls,
-                                           ProtocolKind::kLsAd),
+                         ::testing::ValuesIn(all_protocol_kinds()),
                          [](const auto& info) {
                            std::string name(to_string(info.param));
                            for (char& c : name) {

@@ -24,14 +24,19 @@ RunManifest make_manifest() {
   manifest.machine.consistency = ConsistencyModel::kPc;
   manifest.machine.l1.size_bytes = 8192;
   manifest.machine.classify_false_sharing = true;
+  manifest.machine.interconnect = InterconnectKind::kBus;
+  manifest.machine.bus_arbitration = BusArbitration::kRoundRobin;
   manifest.wall_seconds = 1.5;
 
   RunManifest::ProtocolRun run;
   run.result.protocol = ProtocolKind::kLs;
+  run.result.interconnect = InterconnectKind::kBus;
   run.result.exec_time = 123456;
   run.result.time = TimeBreakdown{1000, 2000, 3000};
   run.result.global_read_misses = 77;
   run.result.eliminated_acquisitions = 33;
+  run.result.update_transactions = 11;
+  run.result.updates_sent = 22;
   run.result.read_miss_home = {1, 2, 3, 4};
   manifest.runs.push_back(run);
   return manifest;
@@ -58,17 +63,22 @@ TEST(ManifestTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.machine.consistency, ConsistencyModel::kPc);
   EXPECT_EQ(back.machine.l1.size_bytes, 8192u);
   EXPECT_TRUE(back.machine.classify_false_sharing);
+  EXPECT_EQ(back.machine.interconnect, InterconnectKind::kBus);
+  EXPECT_EQ(back.machine.bus_arbitration, BusArbitration::kRoundRobin);
   EXPECT_DOUBLE_EQ(back.wall_seconds, 1.5);
 
   ASSERT_EQ(back.runs.size(), 1u);
   const RunResult& r = back.runs[0].result;
   EXPECT_EQ(r.protocol, ProtocolKind::kLs);
+  EXPECT_EQ(r.interconnect, InterconnectKind::kBus);
   EXPECT_EQ(r.exec_time, 123456u);
   EXPECT_EQ(r.time.busy, 1000u);
   EXPECT_EQ(r.time.read_stall, 2000u);
   EXPECT_EQ(r.time.write_stall, 3000u);
   EXPECT_EQ(r.global_read_misses, 77u);
   EXPECT_EQ(r.eliminated_acquisitions, 33u);
+  EXPECT_EQ(r.update_transactions, 11u);
+  EXPECT_EQ(r.updates_sent, 22u);
   EXPECT_EQ(r.read_miss_home, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
 }
 

@@ -225,6 +225,44 @@ TEST(Trace, ConfigHashCoversTimingAndGeometry) {
   EXPECT_NE(trace_config_hash(more_nodes), base);
 }
 
+TEST(Trace, ConfigHashCoversTransport) {
+  // Hash-schema version 1 (current) covers the coherence transport;
+  // version 0 — the pre-seam schema — ignores it entirely.
+  const std::uint64_t base = trace_config_hash(tiny_cfg());
+  MachineConfig bus = tiny_cfg();
+  bus.interconnect = InterconnectKind::kBus;
+  EXPECT_NE(trace_config_hash(bus), base);
+  MachineConfig rr = bus;
+  rr.bus_arbitration = BusArbitration::kRoundRobin;
+  EXPECT_NE(trace_config_hash(rr), trace_config_hash(bus));
+  EXPECT_EQ(trace_config_hash(bus, 0), trace_config_hash(tiny_cfg(), 0));
+}
+
+TEST(Trace, HashVersionRoundTripsThroughTheFile) {
+  Trace trace;
+  trace.meta().config_hash = 1;
+  EXPECT_EQ(trace.meta().hash_version, kTraceConfigHashVersion);
+  std::stringstream buffer;
+  trace.save(buffer);
+  EXPECT_EQ(Trace::load(buffer).meta().hash_version,
+            kTraceConfigHashVersion);
+}
+
+TEST(Trace, PreSeamCapturesOnlyReplayOnTheDirectoryNetwork) {
+  // A version-0 hash cannot vouch for the transport, and such captures
+  // could only have run on the directory network — replaying one on the
+  // bus must be a config mismatch even though the hashed fields agree.
+  Trace trace = record_pingpong();
+  trace.meta().hash_version = 0;
+  trace.meta().config_hash = trace_config_hash(tiny_cfg(), 0);
+  Stats stats(4);
+  EXPECT_GT(replay_trace(trace, tiny_cfg(), stats).accesses, 0u);
+  MachineConfig bus = tiny_cfg();
+  bus.interconnect = InterconnectKind::kBus;
+  Stats bus_stats(4);
+  EXPECT_THROW(replay_trace(trace, bus, bus_stats), TraceConfigMismatch);
+}
+
 TEST(Trace, MismatchListsBothHashes) {
   Trace trace = record_pingpong();
   trace.meta().config_hash = trace_config_hash(tiny_cfg());

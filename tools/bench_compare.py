@@ -61,6 +61,28 @@ def main():
             f"wall-clock deltas are not comparable across hosts",
             file=sys.stderr,
         )
+    # Build provenance: wall-clock deltas across different commits fold
+    # code changes into the comparison. That is often exactly what the
+    # user wants (did my change regress perf?), so warn — never fail —
+    # and let the serial-time gate below judge the numbers.
+    old_commit = old_doc.get("git_commit")
+    new_commit = new_doc.get("git_commit")
+    if old_commit and new_commit and old_commit != new_commit:
+        print(
+            f"warning: baselines come from different commits "
+            f"(old: {old_commit[:12]}, new: {new_commit[:12]}); "
+            f"wall-clock deltas include code changes, not just host noise",
+            file=sys.stderr,
+        )
+    for key in ("directory", "interconnect"):
+        if (old_doc.get(key) or new_doc.get(key)) and \
+                old_doc.get(key) != new_doc.get(key):
+            print(
+                f"warning: suite {key} differs "
+                f"(old: {old_doc.get(key)}, new: {new_doc.get(key)}); "
+                f"the baselines measured different machines",
+                file=sys.stderr,
+            )
     if old_doc.get("jobs") != new_doc.get("jobs"):
         print(
             f"warning: parallel passes used different --jobs "

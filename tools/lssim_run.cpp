@@ -15,6 +15,8 @@
 #include <iostream>
 #include <memory>
 
+#include "core/directory_registry.hpp"
+#include "core/protocol_registry.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 #include "exec/heartbeat.hpp"
@@ -32,6 +34,26 @@ int main(int argc, char** argv) {
   }
   if (options.show_help) {
     std::fputs(driver_usage().c_str(), stdout);
+    return 0;
+  }
+  if (options.list_mode()) {
+    // Discovery flags: canonical registry names, one per line, so shell
+    // scripts can build sweep matrices without hardcoding the family.
+    if (options.list_protocols) {
+      for (const ProtocolInfo& info : registered_protocols()) {
+        std::printf("%s\n", info.name);
+      }
+    }
+    if (options.list_directories) {
+      for (const DirectoryInfo& info : registered_directories()) {
+        std::printf("%s\n", info.name);
+      }
+    }
+    if (options.list_interconnects) {
+      for (const InterconnectNameEntry& entry : kInterconnectNameTable) {
+        std::printf("%s\n", entry.name);
+      }
+    }
     return 0;
   }
   if (!driver_knows_workload(options.workload)) {
@@ -92,7 +114,9 @@ int main(int argc, char** argv) {
       }
       const std::size_t total_runs =
           options.protocols.size() *
-          (options.directories.empty() ? 1 : options.directories.size());
+          (options.directories.empty() ? 1 : options.directories.size()) *
+          (options.interconnects.empty() ? 1
+                                         : options.interconnects.size());
       heartbeat = std::make_unique<HeartbeatEmitter>(
           hb_os, options.heartbeat_interval,
           static_cast<std::uint64_t>(total_runs), "run");
