@@ -267,16 +267,6 @@ int main(int argc, char** argv) {
   const std::vector<RunSpec> suite = build_suite(quick);
   std::fprintf(stderr, "perf_baseline: %zu simulations, parallel pass at "
                "--jobs %d%s\n", suite.size(), jobs, quick ? " (quick)" : "");
-  if (default_jobs() <= 1) {
-    // Machine-readable provenance for the known artifact: on a 1-core
-    // host the parallel pass can only time-slice, so the speedup number
-    // measures executor overhead, not parallel gain
-    // (tools/bench_compare.py surfaces this when comparing).
-    notes.emplace_back(
-        "single-core host: the parallel pass time-slices, so 'speedup' "
-        "measures executor overhead, not parallel gain");
-  }
-
   // Serial pass: per-run wall clock, one simulation at a time.
   std::vector<RunTiming> serial(suite.size());
   const auto serial_start = Clock::now();
@@ -465,15 +455,26 @@ int main(int argc, char** argv) {
   }
   doc.emplace_back("quick", Json(quick));
   doc.emplace_back("jobs", Json(jobs));
-  // Interpretation key for the speedup number: a 1-core host can only
-  // time-slice, so `speedup` there measures executor overhead, not gain.
   doc.emplace_back("host_hardware_concurrency", Json(default_jobs()));
   doc.emplace_back("total_simulations", Json(suite.size()));
   doc.emplace_back("serial_seconds", Json(serial_seconds));
   doc.emplace_back("parallel_seconds", Json(parallel_seconds));
+  // With one core (or one worker) the parallel pass can only time-slice
+  // the serial work, so serial/parallel measures executor overhead, not
+  // parallel gain — recording it as a speedup would archive numbers like
+  // 0.92x that later reads as a regression. Write null instead;
+  // bench_compare.py skips speedup comparison when either side is null.
+  const bool speedup_meaningful = default_jobs() > 1 && jobs > 1;
+  if (!speedup_meaningful) {
+    notes.emplace_back(
+        "speedup is null: the parallel pass ran without real concurrency "
+        "(1-core host or --jobs 1), which measures executor overhead");
+  }
   doc.emplace_back(
       "speedup",
-      Json(parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0.0));
+      speedup_meaningful && parallel_seconds > 0
+          ? Json(serial_seconds / parallel_seconds)
+          : Json(nullptr));
   doc.emplace_back(
       "sims_per_second_serial",
       Json(serial_seconds > 0 ? suite.size() / serial_seconds : 0.0));
@@ -511,11 +512,15 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  char speedup_text[32] = "n/a";
+  if (speedup_meaningful && parallel_seconds > 0) {
+    std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx",
+                  serial_seconds / parallel_seconds);
+  }
   std::fprintf(stderr,
                "perf_baseline: serial %.2fs, parallel %.2fs at --jobs %d "
-               "(speedup %.2fx) -> %s\n",
-               serial_seconds, parallel_seconds, jobs,
-               parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0.0,
+               "(speedup %s) -> %s\n",
+               serial_seconds, parallel_seconds, jobs, speedup_text,
                to_stdout ? "stdout" : out_path.c_str());
   return 0;
 }

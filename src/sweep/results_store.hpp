@@ -1,0 +1,120 @@
+// Versioned append-only results store for sweep runs.
+//
+// One JSONL file per store: a header line, then one record line per
+// completed sweep cell, keyed by sweep_config_hash. Append-only is the
+// point — a store is a measurement log, never rewritten, and
+// tools/bench_compare.py --store diffs two of them (per-config
+// regression gates) or trends across several.
+//
+//   {"kind":"header","schema_version":1,"hash_version":1,...}
+//   {"kind":"result","hash":"0x…","label":…,…,"result":{…}}
+//
+// Crash tolerance: open() parses the existing file, remembers the byte
+// offset after the last complete, well-formed line and truncates
+// anything beyond it (an interrupted append leaves a partial last line).
+// Because the runner appends records in unit order, a crashed or
+// truncated store is always a *prefix* of the uninterrupted store, and a
+// resumed sweep — which skips the completed hashes and continues in the
+// same order — reproduces the uninterrupted file byte for byte (when
+// timing capture is off; wall-clock fields are the one nondeterminism).
+//
+// Forward compatibility: record lines whose "kind" is unknown are
+// preserved on disk and skipped on load; a header whose schema_version
+// is newer than this build refuses to open (appending an old-layout
+// record to a new-layout store would corrupt it).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "workloads/harness.hpp"
+
+namespace lssim {
+
+class Json;
+
+/// One completed sweep cell.
+struct SweepRecord {
+  std::uint64_t config_hash = 0;
+  std::string label;
+  std::string workload;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::uint64_t seed = 1;
+  int nodes = 0;
+  std::uint32_t l1_bytes = 0;
+  std::uint32_t l2_bytes = 0;
+  std::uint32_t block_bytes = 0;
+  /// 0.0 when the sweep ran with timing capture off (reproducible-store
+  /// mode; see SweepRunOptions::record_timing).
+  double wall_seconds = 0.0;
+  RunResult result;
+};
+
+class ResultsStore {
+ public:
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  /// Store-level provenance, written into the header line when a store
+  /// is created (ignored when opening an existing one — provenance
+  /// documents the capture that *started* the store).
+  struct Provenance {
+    std::string generator = "lssim_sweep";
+    std::string git_commit;  ///< Empty = omitted.
+    int host_hardware_concurrency = 0;
+    int jobs = 0;
+  };
+
+  ResultsStore() = default;
+
+  /// Opens `path` for appending, creating it (plus the header line) when
+  /// absent or empty. Parses existing records into completed()/records()
+  /// and truncates a trailing partial line. Returns false + `*error` on
+  /// I/O failure, a malformed header, or a newer schema_version.
+  bool open(const std::string& path, const Provenance& provenance,
+            std::string* error);
+
+  /// Read-only load (no truncation repair, no header requirement beyond
+  /// validity) — what bench_compare-style consumers do. A trailing
+  /// partial line is skipped, not an error.
+  static bool load(const std::string& path, std::vector<SweepRecord>* out,
+                   std::string* error);
+
+  /// Appends one record line and flushes it to disk. Returns false +
+  /// `*error` on I/O failure (the store is closed; a partial line, if
+  /// any, is repaired on the next open()).
+  bool append(const SweepRecord& record, std::string* error);
+
+  [[nodiscard]] bool contains(std::uint64_t config_hash) const {
+    return completed_.count(config_hash) != 0;
+  }
+  [[nodiscard]] const std::unordered_set<std::uint64_t>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] const std::vector<SweepRecord>& records() const {
+    return records_;
+  }
+  /// Hashes that appeared on more than one loaded record line (a store
+  /// the runner wrote never has any; hand-concatenated stores might).
+  [[nodiscard]] std::size_t duplicate_hashes() const {
+    return duplicate_hashes_;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::unordered_set<std::uint64_t> completed_;
+  std::vector<SweepRecord> records_;
+  std::size_t duplicate_hashes_ = 0;
+};
+
+/// Serialisation of one record line (exposed for tests and tooling).
+[[nodiscard]] Json sweep_record_to_json(const SweepRecord& record);
+bool sweep_record_from_json(const Json& json, SweepRecord* out,
+                            std::string* error);
+
+}  // namespace lssim

@@ -1,0 +1,123 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+#include "exec/parallel_executor.hpp"
+
+namespace lssim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One unit's outcome inside a batch.
+struct UnitOutcome {
+  bool ok = false;
+  double wall_seconds = 0.0;
+  RunResult result;
+  std::string error;
+};
+
+UnitOutcome execute_unit(const SweepUnit& unit, bool record_timing) {
+  UnitOutcome outcome;
+  try {
+    DriverOptions options;
+    options.workload = unit.workload;
+    for (const auto& [key, value] : unit.params) {
+      options.params[key] = value;
+    }
+    const WorkloadBuilder build = make_driver_builder(options);
+    const auto start = Clock::now();
+    outcome.result = run_experiment(unit.machine, build, unit.seed);
+    if (record_timing) {
+      outcome.wall_seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+SweepRecord make_sweep_record(const SweepUnit& unit, const RunResult& result,
+                              double wall_seconds) {
+  SweepRecord record;
+  record.config_hash = unit.config_hash;
+  record.label = unit.label;
+  record.workload = unit.workload;
+  record.params = unit.params;
+  record.seed = unit.seed;
+  record.nodes = unit.machine.num_nodes;
+  record.l1_bytes = unit.machine.l1.size_bytes;
+  record.l2_bytes = unit.machine.l2.size_bytes;
+  record.block_bytes = unit.machine.l1.block_bytes;
+  record.wall_seconds = wall_seconds;
+  record.result = result;
+  return record;
+}
+
+bool run_sweep(const std::vector<SweepUnit>& units, ResultsStore& store,
+               const SweepRunOptions& options, SweepRunSummary* summary,
+               std::string* error) {
+  *summary = SweepRunSummary{};
+  const int shard_count = options.shard_count > 0 ? options.shard_count : 1;
+  const int shard_index = options.shard_index;
+
+  // This shard's work list, minus what the store already has. The order
+  // is the generator's unit order — the append-order determinism the
+  // byte-identical resume contract rests on.
+  std::vector<const SweepUnit*> pending;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (static_cast<int>(i % static_cast<std::size_t>(shard_count)) !=
+        shard_index) {
+      continue;
+    }
+    summary->in_shard += 1;
+    if (store.contains(units[i].config_hash)) {
+      summary->skipped += 1;
+    } else {
+      pending.push_back(&units[i]);
+    }
+  }
+
+  const std::size_t batch_size = options.batch > 0 ? options.batch : 1;
+  std::size_t done = 0;
+  for (std::size_t base = 0; base < pending.size(); base += batch_size) {
+    const std::size_t count =
+        std::min(batch_size, pending.size() - base);
+    const std::vector<UnitOutcome> outcomes =
+        parallel_map<UnitOutcome>(count, options.jobs, [&](std::size_t i) {
+          return execute_unit(*pending[base + i], options.record_timing);
+        });
+    // Append in unit order, skipping failures (a failed cell is absent
+    // from the store, so a later run retries it).
+    for (std::size_t i = 0; i < count; ++i) {
+      const SweepUnit& unit = *pending[base + i];
+      const UnitOutcome& outcome = outcomes[i];
+      if (!outcome.ok) {
+        summary->failed += 1;
+        summary->errors.push_back(unit.label + ": " + outcome.error);
+      } else {
+        if (!store.append(make_sweep_record(unit, outcome.result,
+                                            outcome.wall_seconds),
+                          error)) {
+          return false;
+        }
+        summary->executed += 1;
+      }
+      done += 1;
+      if (options.progress) {
+        options.progress(unit, done, pending.size());
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lssim

@@ -1,0 +1,71 @@
+// Sharded, resumable sweep runner.
+//
+// Runs a generated sweep matrix (sweep/matrix.hpp) against a results
+// store (sweep/results_store.hpp), fanning simulations out across host
+// threads via the parallel executor (exec/parallel_executor.hpp) while
+// keeping the store deterministic:
+//
+//   * Units whose sweep_config_hash is already in the store are skipped
+//     — resuming an interrupted sweep re-executes nothing.
+//   * Units execute in batches: each batch runs in parallel, then its
+//     records are appended in unit order and flushed. An interruption
+//     therefore loses at most one batch of work, and the store on disk
+//     is always a prefix of the uninterrupted store — so a resumed run
+//     produces a byte-identical final store (with timing capture off;
+//     wall-clock fields are the one nondeterminism, and
+//     record_timing=false zeroes them).
+//   * Sharding splits a matrix across fleet machines: shard i of n runs
+//     the units whose index ≡ i (mod n), each appending to its own
+//     store. Stores stay per-shard; bench_compare.py --store consumes
+//     any number of them.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sweep/matrix.hpp"
+#include "sweep/results_store.hpp"
+
+namespace lssim {
+
+struct SweepRunOptions {
+  /// Host worker threads per batch (<= 0 = all cores).
+  int jobs = 1;
+  /// This process runs units with index % shard_count == shard_index.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Units per append wave (the resumability granularity).
+  std::size_t batch = 16;
+  /// Record per-unit wall clock. Off = reproducible stores (wall_seconds
+  /// written as 0.0), the mode the byte-identical resume tests use.
+  bool record_timing = true;
+  /// Optional progress sink, called after every finished unit with
+  /// (unit, completed-so-far, total-to-run). Invoked from the runner's
+  /// coordinating thread only.
+  std::function<void(const SweepUnit&, std::size_t, std::size_t)> progress;
+};
+
+struct SweepRunSummary {
+  std::size_t in_shard = 0;  ///< Units this shard is responsible for.
+  std::size_t skipped = 0;   ///< Already present in the store (resume).
+  std::size_t executed = 0;  ///< Simulated and appended this run.
+  std::size_t failed = 0;    ///< Threw; reported via `errors`, not stored.
+  std::vector<std::string> errors;  ///< "label: what" per failed unit.
+};
+
+/// Runs every not-yet-completed unit of this shard. Returns false and
+/// sets `*error` only on store I/O failure (unit failures are collected
+/// in the summary — one broken cell must not kill a thousand-config
+/// sweep).
+bool run_sweep(const std::vector<SweepUnit>& units, ResultsStore& store,
+               const SweepRunOptions& options, SweepRunSummary* summary,
+               std::string* error);
+
+/// Builds the SweepRecord for one executed unit (exposed for tests).
+[[nodiscard]] SweepRecord make_sweep_record(const SweepUnit& unit,
+                                            const RunResult& result,
+                                            double wall_seconds);
+
+}  // namespace lssim

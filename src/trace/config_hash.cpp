@@ -18,6 +18,15 @@ class Fnv1a {
       hash_ *= kFnvPrime;
     }
   }
+  void mix(std::string_view text) noexcept {
+    // Length-prefixed so adjacent strings can't alias ("ab","c" vs
+    // "a","bc").
+    mix(static_cast<std::uint64_t>(text.size()));
+    for (const char c : text) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kFnvPrime;
+    }
+  }
   [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
 
  private:
@@ -64,6 +73,66 @@ std::string format_config_hash(std::uint64_t hash) {
   std::snprintf(buffer, sizeof(buffer), "0x%016llx",
                 static_cast<unsigned long long>(hash));
   return buffer;
+}
+
+bool parse_config_hash(std::string_view text, std::uint64_t* out) noexcept {
+  if (text.size() >= 2 && text[0] == '0' &&
+      (text[1] == 'x' || text[1] == 'X')) {
+    text.remove_prefix(2);
+  }
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+std::uint64_t sweep_config_hash(
+    const MachineConfig& config, std::string_view workload,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::uint64_t seed) noexcept {
+  Fnv1a h;
+  h.mix(std::uint64_t{kSweepConfigHashVersion});
+  // The protocol-insensitive machine fields, exactly as a trace capture
+  // would hash them (node count, caches, latencies, consistency,
+  // topology, transport).
+  h.mix(trace_config_hash(config));
+  // The axes trace_config_hash deliberately leaves out: the protocol and
+  // its behavioural knobs, the directory organisation and its knobs.
+  const ProtocolConfig& p = config.protocol;
+  h.mix(static_cast<std::uint64_t>(p.kind));
+  h.mix(static_cast<std::uint64_t>(p.default_tagged));
+  h.mix(p.tag_hysteresis);
+  h.mix(p.detag_hysteresis);
+  h.mix(static_cast<std::uint64_t>(p.keep_tag_on_lone_write));
+  h.mix(static_cast<std::uint64_t>(p.ad_detag_on_replacement));
+  h.mix(static_cast<std::uint64_t>(config.directory_scheme));
+  h.mix(config.directory_pointers);
+  h.mix(config.directory_region);
+  h.mix(config.directory_entries);
+  h.mix(static_cast<std::uint64_t>(config.classify_false_sharing));
+  // What ran on the machine: workload, parameter overrides (in the
+  // caller-supplied order — the sweep generator emits them sorted), seed.
+  h.mix(workload);
+  h.mix(static_cast<std::uint64_t>(params.size()));
+  for (const auto& [key, value] : params) {
+    h.mix(key);
+    h.mix(value);
+  }
+  h.mix(seed);
+  return h.value();
 }
 
 }  // namespace lssim

@@ -12,6 +12,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "sim/config.hpp"
 
@@ -37,5 +40,28 @@ inline constexpr std::uint32_t kTraceConfigHashVersion = 1;
 /// `hash` as the fixed-width lowercase hex string used in mismatch
 /// messages, e.g. "0x00c0ffee00c0ffee".
 [[nodiscard]] std::string format_config_hash(std::uint64_t hash);
+
+/// Inverse of format_config_hash (also accepts bare hex without the 0x
+/// prefix). Returns false on junk.
+bool parse_config_hash(std::string_view text, std::uint64_t* out) noexcept;
+
+/// Sweep-key schema version recorded in results-store headers. Version 1
+/// covers everything below; bumping it (because a hashed field was
+/// added) invalidates stored completion keys, which is the desired
+/// behaviour — a key-layout change must force re-execution.
+inline constexpr std::uint32_t kSweepConfigHashVersion = 1;
+
+/// FNV-1a key identifying one sweep cell: the full machine configuration
+/// — *including* the protocol, directory-organisation and interconnect
+/// knobs that trace_config_hash deliberately excludes — plus the
+/// workload name, its parameter overrides and the seed. Two sweep cells
+/// collide only if they would run the identical simulation, so the
+/// results store can skip completed keys on resume. Same stability
+/// contract as trace_config_hash: stable across runs and platforms, not
+/// across schema versions.
+[[nodiscard]] std::uint64_t sweep_config_hash(
+    const MachineConfig& config, std::string_view workload,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::uint64_t seed) noexcept;
 
 }  // namespace lssim

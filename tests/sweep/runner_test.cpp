@@ -1,0 +1,210 @@
+// Sweep-runner contract tests, including ROADMAP item 4's resumability
+// acceptance: interrupt a sweep mid-store, resume, and the final store
+// is byte-identical to an uninterrupted run with no config hash
+// executed (or recorded) twice.
+#include "sweep/runner.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sweep/matrix.hpp"
+
+namespace lssim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_store(const char* name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  return path.string();
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Four quick pingpong cells (two protocols x two node counts).
+std::vector<SweepUnit> quick_units() {
+  SweepAxes axes;
+  axes.workloads = {"pingpong"};
+  axes.protocols = {ProtocolKind::kBaseline, ProtocolKind::kLs};
+  axes.directories = {DirectoryKind::kFullMap};
+  axes.interconnects = {InterconnectKind::kNetwork};
+  axes.node_counts = {2, 4};
+  axes.l1_sizes = {axes.base.l1.size_bytes};
+  axes.l2_sizes = {axes.base.l2.size_bytes};
+  axes.block_sizes = {axes.base.l1.block_bytes};
+  axes.params.emplace_back("rounds", "20");
+  SweepMatrix matrix;
+  std::string error;
+  EXPECT_TRUE(generate_sweep(axes, &matrix, &error)) << error;
+  return matrix.units;
+}
+
+SweepRunOptions no_timing_options() {
+  SweepRunOptions options;
+  options.jobs = 1;
+  options.batch = 2;
+  options.record_timing = false;  // Reproducible-store mode.
+  return options;
+}
+
+/// Runs all `units` into a fresh store at `path`; returns the summary.
+SweepRunSummary run_all(const std::vector<SweepUnit>& units,
+                        const std::string& path,
+                        const SweepRunOptions& options) {
+  ResultsStore store;
+  std::string error;
+  EXPECT_TRUE(store.open(path, ResultsStore::Provenance{}, &error)) << error;
+  SweepRunSummary summary;
+  EXPECT_TRUE(run_sweep(units, store, options, &summary, &error)) << error;
+  return summary;
+}
+
+TEST(SweepRunner, ExecutesEveryUnitOnceAndRecordsResults) {
+  const std::vector<SweepUnit> units = quick_units();
+  ASSERT_EQ(units.size(), 4u);
+  const std::string path = temp_store("runner_basic.jsonl");
+  const SweepRunSummary summary =
+      run_all(units, path, no_timing_options());
+  EXPECT_EQ(summary.in_shard, 4u);
+  EXPECT_EQ(summary.executed, 4u);
+  EXPECT_EQ(summary.skipped, 0u);
+  EXPECT_EQ(summary.failed, 0u);
+
+  std::vector<SweepRecord> records;
+  std::string error;
+  ASSERT_TRUE(ResultsStore::load(path, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].config_hash, units[i].config_hash);
+    EXPECT_EQ(records[i].label, units[i].label);
+    EXPECT_GT(records[i].result.exec_time, 0u);
+    EXPECT_EQ(records[i].wall_seconds, 0.0);  // record_timing off.
+  }
+}
+
+TEST(SweepRunner, RerunSkipsEverythingAndChangesNothing) {
+  const std::vector<SweepUnit> units = quick_units();
+  const std::string path = temp_store("runner_rerun.jsonl");
+  (void)run_all(units, path, no_timing_options());
+  const std::string first = read_all(path);
+
+  ResultsStore store;
+  std::string error;
+  ASSERT_TRUE(store.open(path, ResultsStore::Provenance{}, &error)) << error;
+  SweepRunSummary summary;
+  ASSERT_TRUE(run_sweep(units, store, no_timing_options(), &summary, &error))
+      << error;
+  EXPECT_EQ(summary.skipped, 4u);
+  EXPECT_EQ(summary.executed, 0u);  // Zero re-executed hashes on resume.
+  EXPECT_EQ(read_all(path), first);
+}
+
+// The acceptance test: truncate the store mid-way (as a crash would),
+// resume, and the final store is byte-identical to the uninterrupted
+// run's — and no config hash appears twice.
+TEST(SweepRunner, TruncatedStoreResumesToByteIdenticalResult) {
+  const std::vector<SweepUnit> units = quick_units();
+  const std::string uninterrupted = temp_store("runner_full.jsonl");
+  (void)run_all(units, uninterrupted, no_timing_options());
+  const std::string expected = read_all(uninterrupted);
+
+  const std::string resumed = temp_store("runner_resumed.jsonl");
+  (void)run_all(units, resumed, no_timing_options());
+  // Chop mid-way through the third record line: the second record
+  // survives, the third becomes the partial trailing line open() repairs.
+  const std::string full = read_all(resumed);
+  std::size_t offset = 0;
+  for (int newlines = 0; newlines < 3; ++newlines) {
+    offset = full.find('\n', offset) + 1;
+  }
+  ASSERT_LT(offset + 10, full.size());
+  fs::resize_file(resumed, offset + 10);
+
+  ResultsStore store;
+  std::string error;
+  ASSERT_TRUE(store.open(resumed, ResultsStore::Provenance{}, &error))
+      << error;
+  SweepRunSummary summary;
+  ASSERT_TRUE(run_sweep(units, store, no_timing_options(), &summary, &error))
+      << error;
+  EXPECT_EQ(summary.skipped, 2u);   // Header + two complete records kept.
+  EXPECT_EQ(summary.executed, 2u);  // The chopped one and the missing one.
+  EXPECT_EQ(read_all(resumed), expected) << "resume is not byte-identical";
+
+  std::vector<SweepRecord> records;
+  ASSERT_TRUE(ResultsStore::load(resumed, &records, &error)) << error;
+  std::set<std::uint64_t> seen;
+  for (const SweepRecord& record : records) {
+    EXPECT_TRUE(seen.insert(record.config_hash).second)
+        << "hash recorded twice: " << record.label;
+  }
+  EXPECT_EQ(seen.size(), units.size());
+}
+
+TEST(SweepRunner, ShardsPartitionTheMatrix) {
+  const std::vector<SweepUnit> units = quick_units();
+  const std::string shard0 = temp_store("runner_shard0.jsonl");
+  const std::string shard1 = temp_store("runner_shard1.jsonl");
+  SweepRunOptions options = no_timing_options();
+  options.shard_count = 2;
+  options.shard_index = 0;
+  const SweepRunSummary s0 = run_all(units, shard0, options);
+  options.shard_index = 1;
+  const SweepRunSummary s1 = run_all(units, shard1, options);
+  EXPECT_EQ(s0.in_shard, 2u);
+  EXPECT_EQ(s1.in_shard, 2u);
+  EXPECT_EQ(s0.executed + s1.executed, units.size());
+
+  std::vector<SweepRecord> r0, r1;
+  std::string error;
+  ASSERT_TRUE(ResultsStore::load(shard0, &r0, &error)) << error;
+  ASSERT_TRUE(ResultsStore::load(shard1, &r1, &error)) << error;
+  std::set<std::uint64_t> seen;
+  for (const SweepRecord& record : r0) seen.insert(record.config_hash);
+  for (const SweepRecord& record : r1) seen.insert(record.config_hash);
+  EXPECT_EQ(seen.size(), units.size()) << "shards overlap or drop units";
+}
+
+TEST(SweepRunner, ParallelJobsProduceTheSameStoreBytes) {
+  const std::vector<SweepUnit> units = quick_units();
+  const std::string serial = temp_store("runner_serial.jsonl");
+  const std::string parallel = temp_store("runner_parallel.jsonl");
+  (void)run_all(units, serial, no_timing_options());
+  SweepRunOptions options = no_timing_options();
+  options.jobs = 4;
+  (void)run_all(units, parallel, options);
+  EXPECT_EQ(read_all(serial), read_all(parallel));
+}
+
+TEST(SweepRunner, FailedUnitsAreReportedNotRecorded) {
+  std::vector<SweepUnit> units = quick_units();
+  // Sabotage one cell with a parameter pingpong rejects; the runner
+  // must keep going and leave the bad cell out of the store.
+  units[1].params.emplace_back("no_such_param", "1");
+  const std::string path = temp_store("runner_failed.jsonl");
+  const SweepRunSummary summary =
+      run_all(units, path, no_timing_options());
+  EXPECT_EQ(summary.executed, 3u);
+  EXPECT_EQ(summary.failed, 1u);
+  ASSERT_EQ(summary.errors.size(), 1u);
+  EXPECT_NE(summary.errors[0].find(units[1].label), std::string::npos);
+
+  std::vector<SweepRecord> records;
+  std::string error;
+  ASSERT_TRUE(ResultsStore::load(path, &records, &error)) << error;
+  EXPECT_EQ(records.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lssim

@@ -163,6 +163,196 @@ class BenchCompareTest(unittest.TestCase):
         self.assertNotIn("Traceback", proc.stderr)
         self.assertIn("removed", proc.stdout)
 
+    def test_replay_speedup_regression_fails(self):
+        # The replay steady-state speedup is gated like figure times: a
+        # drop beyond --threshold fails the comparison.
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        old["replay_compare"] = [
+            {"name": "fig3_mp3d", "execute_seconds": 5.0,
+             "replay_seconds": 1.0, "speedup": 5.0}
+        ]
+        new = capture([fig("fig4", 1.0)], total=1.0)
+        new["replay_compare"] = [
+            {"name": "fig3_mp3d", "execute_seconds": 5.0,
+             "replay_seconds": 2.0, "speedup": 2.5}
+        ]
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("replay fig3_mp3d", proc.stderr)
+
+    def test_replay_speedup_within_threshold_passes(self):
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        old["replay_compare"] = [
+            {"name": "fig3_mp3d", "speedup": 5.0}
+        ]
+        new = capture([fig("fig4", 1.0)], total=1.0)
+        new["replay_compare"] = [
+            {"name": "fig3_mp3d", "speedup": 4.8}
+        ]
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_null_replay_speedup_warns_and_is_not_gated(self):
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        old["replay_compare"] = [{"name": "fig3_mp3d", "speedup": 5.0}]
+        new = capture([fig("fig4", 1.0)], total=1.0)
+        new["replay_compare"] = [{"name": "fig3_mp3d", "speedup": None}]
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertIn("not gated", proc.stderr)
+
+    def test_null_doc_speedup_prints_na_and_warns(self):
+        # bench/perf_baseline writes speedup: null when the capture had
+        # no real concurrency (1-core host or --jobs 1); the comparison
+        # must skip it with a warning instead of crashing or gating.
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        new = capture([fig("fig4", 1.0)], total=1.0, speedup=None)
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertIn("n/a", proc.stdout)
+        self.assertIn("null speedup", proc.stderr)
+
+    def test_zero_replay_divisions_are_guarded(self):
+        old = capture([fig("fig4", 1.0)], total=1.0)
+        old["replay_compare"] = [{"name": "w", "speedup": 0.0}]
+        new = capture([fig("fig4", 1.0)], total=1.0)
+        new["replay_compare"] = [
+            {"name": "w", "execute_seconds": 0.0, "replay_seconds": 0.0,
+             "speedup": 0.0}
+        ]
+        proc = run_compare(old, new)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+
+def store_header(hash_version=1, cores=8):
+    return {"kind": "header", "schema_version": 1,
+            "hash_version": hash_version, "generator": "lssim_sweep",
+            "host_hardware_concurrency": cores, "jobs": 2}
+
+
+def store_record(hash_hex, wall, cycles, label=None):
+    return {"kind": "result", "hash": hash_hex,
+            "label": label or f"cfg-{hash_hex}", "workload": "pingpong",
+            "seed": 1, "nodes": 2, "wall_seconds": wall,
+            "result": {"exec_cycles": cycles}}
+
+
+def write_store(path, header, records, partial_tail=None):
+    with open(path, "w") as f:
+        for doc in [header, *records]:
+            f.write(json.dumps(doc) + "\n")
+        if partial_tail is not None:
+            f.write(partial_tail)  # No newline: an interrupted append.
+
+
+class StoreCompareTest(unittest.TestCase):
+    def run_script(self, *argv):
+        return subprocess.run(
+            [sys.executable, SCRIPT, *argv],
+            capture_output=True,
+            text=True,
+        )
+
+    def make_stores(self, tmp, old_records, new_records):
+        old_path = os.path.join(tmp, "old.jsonl")
+        new_path = os.path.join(tmp, "new.jsonl")
+        write_store(old_path, store_header(), old_records)
+        write_store(new_path, store_header(), new_records)
+        return old_path, new_path
+
+    def test_wall_clock_regression_fails_per_config(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            old, new = self.make_stores(
+                tmp,
+                [store_record("0x1", 1.0, 100), store_record("0x2", 1.0, 50)],
+                [store_record("0x1", 2.0, 100), store_record("0x2", 1.0, 50)],
+            )
+            proc = self.run_script("--store", old, new)
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertIn("REGRESSION", proc.stdout)
+            self.assertIn("cfg-0x1", proc.stderr)
+
+    def test_within_threshold_passes_and_reports_membership(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            old, new = self.make_stores(
+                tmp,
+                [store_record("0x1", 1.0, 100), store_record("0x3", 1.0, 9)],
+                [store_record("0x1", 1.05, 100), store_record("0x2", 1.0, 5)],
+            )
+            proc = self.run_script("--store", old, new)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            self.assertIn("new config", proc.stdout)
+            self.assertIn("removed", proc.stdout)
+
+    def test_untimed_stores_skip_wall_gate_but_report_stat_changes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            old, new = self.make_stores(
+                tmp,
+                [store_record("0x1", 0.0, 100)],
+                [store_record("0x1", 0.0, 999)],
+            )
+            proc = self.run_script("--store", old, new)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            self.assertIn("stats changed", proc.stdout)
+            self.assertIn("no timing", proc.stdout)
+
+    def test_partial_trailing_line_is_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            old_path = os.path.join(tmp, "old.jsonl")
+            new_path = os.path.join(tmp, "new.jsonl")
+            write_store(old_path, store_header(),
+                        [store_record("0x1", 1.0, 100)])
+            write_store(new_path, store_header(),
+                        [store_record("0x1", 1.0, 100)],
+                        partial_tail='{"kind":"result","hash":"0x2')
+            proc = self.run_script("--store", old_path, new_path)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            self.assertNotIn("Traceback", proc.stderr)
+
+    def test_headerless_file_is_rejected(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "bad.jsonl")
+            with open(bad, "w") as f:
+                f.write(json.dumps(store_record("0x1", 1.0, 1)) + "\n")
+            good = os.path.join(tmp, "good.jsonl")
+            write_store(good, store_header(), [])
+            proc = self.run_script("--store", bad, good)
+            self.assertNotEqual(proc.returncode, 0)
+            self.assertIn("no header", proc.stderr + proc.stdout)
+
+    def test_hash_version_mismatch_warns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            old_path = os.path.join(tmp, "old.jsonl")
+            new_path = os.path.join(tmp, "new.jsonl")
+            write_store(old_path, store_header(hash_version=1),
+                        [store_record("0x1", 1.0, 100)])
+            write_store(new_path, store_header(hash_version=2),
+                        [store_record("0x1", 1.0, 100)])
+            proc = self.run_script("--store", old_path, new_path)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            self.assertIn("hash versions", proc.stderr.replace("-", " "))
+
+    def test_trend_summarises_stores_and_never_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for i, wall in enumerate([1.0, 2.0, 10.0]):
+                path = os.path.join(tmp, f"s{i}.jsonl")
+                write_store(path, store_header(),
+                            [store_record("0x1", wall, 100)])
+                paths.append(path)
+            proc = self.run_script("--store", "--trend", *paths)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            # A 5x wall-clock blowup is reported, not gated.
+            self.assertIn("+400.0%", proc.stdout)
+
+    def test_trend_requires_store(self):
+        proc = self.run_script("--trend", "a", "b")
+        self.assertNotEqual(proc.returncode, 0)
+
 
 if __name__ == "__main__":
     unittest.main()
